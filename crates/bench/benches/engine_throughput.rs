@@ -1,0 +1,74 @@
+//! Micro-benchmarks of the discrete-event engine: event throughput for
+//! the plan shapes the RAID engines generate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sim_core::plan::{barrier, par, seq, use_res};
+use sim_core::{BarrierId, Demand, Engine, FixedRate, SimDuration};
+
+fn busy(us: u64) -> Demand {
+    Demand::Busy(SimDuration::from_micros(us))
+}
+
+fn bench_seq_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    let n = 10_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("seq_chain_10k_uses", |b| {
+        b.iter(|| {
+            let mut e = Engine::new();
+            let r = e.add_resource("r", Box::new(FixedRate::per_op(SimDuration::ZERO)));
+            e.spawn_job("chain", seq((0..n).map(|_| use_res(r, busy(1))).collect()));
+            e.run().unwrap().end
+        })
+    });
+    g.finish();
+}
+
+fn bench_contended_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    let jobs = 64u64;
+    let per = 64u64;
+    g.throughput(Throughput::Elements(jobs * per));
+    g.bench_function("fanout_64jobs_x64ops_16disks", |b| {
+        b.iter(|| {
+            let mut e = Engine::new();
+            let disks: Vec<_> = (0..16)
+                .map(|i| e.add_resource(format!("d{i}"), Box::new(FixedRate::per_op(SimDuration::from_micros(3)))))
+                .collect();
+            for j in 0..jobs {
+                e.spawn_job(
+                    "j",
+                    par((0..per).map(|i| use_res(disks[((j + i) % 16) as usize], busy(2))).collect()),
+                );
+            }
+            e.run().unwrap().end
+        })
+    });
+    g.finish();
+}
+
+fn bench_barrier_cycles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    let parties = 16usize;
+    let cycles = 256usize;
+    g.throughput(Throughput::Elements((parties * cycles) as u64));
+    g.bench_function("barrier_16x256_cycles", |b| {
+        b.iter(|| {
+            let mut e = Engine::new();
+            let bid = BarrierId(1);
+            e.register_barrier(bid, parties);
+            let r = e.add_resource("cpu", Box::new(FixedRate::per_op(SimDuration::ZERO)));
+            for _ in 0..parties {
+                e.spawn_job(
+                    "p",
+                    seq((0..cycles).flat_map(|_| [use_res(r, busy(1)), barrier(bid)]).collect()),
+                );
+            }
+            e.run().unwrap().end
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_seq_chain, bench_contended_fanout, bench_barrier_cycles);
+criterion_main!(benches);

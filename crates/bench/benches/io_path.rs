@@ -1,0 +1,84 @@
+//! Micro-benchmarks of the full CDD I/O path: plan construction plus
+//! functional data movement for each write scheme, the lock table, and
+//! the parity XOR kernel.
+
+use cdd::{CddConfig, IoSystem, LockGroupTable};
+use cluster::{xor_into, ClusterConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use raidx_core::Arch;
+use sim_core::Engine;
+
+fn small_cluster() -> ClusterConfig {
+    let mut cc = ClusterConfig::trojans();
+    cc.disk.capacity = 1 << 30;
+    cc
+}
+
+fn bench_write_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("write_path_2MB");
+    let bytes = 2u64 << 20;
+    g.throughput(Throughput::Bytes(bytes));
+    for arch in [Arch::Chained, Arch::Raid5, Arch::Raid10, Arch::RaidX] {
+        g.bench_function(arch.name(), |b| {
+            let mut e = Engine::new();
+            let mut s = IoSystem::new(&mut e, small_cluster(), arch, CddConfig::default());
+            let payload = vec![0xABu8; bytes as usize];
+            let mut lb0 = 0u64;
+            b.iter(|| {
+                let plan = s.write(0, lb0, &payload).unwrap();
+                lb0 = (lb0 + 64) % 65536;
+                black_box(plan.leaf_count())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_read_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("read_path_2MB");
+    let bytes = 2u64 << 20;
+    g.throughput(Throughput::Bytes(bytes));
+    for arch in [Arch::Chained, Arch::RaidX] {
+        g.bench_function(arch.name(), |b| {
+            let mut e = Engine::new();
+            let mut s = IoSystem::new(&mut e, small_cluster(), arch, CddConfig::default());
+            let payload = vec![0xCDu8; bytes as usize];
+            s.write(0, 0, &payload).unwrap();
+            b.iter(|| {
+                let (data, plan) = s.read(1, 0, 64).unwrap();
+                black_box((data.len(), plan.leaf_count()))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lock_table(c: &mut Criterion) {
+    c.bench_function("lock_table_acquire_release", |b| {
+        let mut t = LockGroupTable::new();
+        // Pre-populate with held ranges to make the scan realistic.
+        let held: Vec<_> = (0..64usize).map(|i| t.acquire(i % 8, i as u64 * 1000, 64).unwrap()).collect();
+        b.iter(|| {
+            let h = t.acquire(9, 1_000_000, 64).unwrap();
+            t.release(h);
+        });
+        drop(held);
+    });
+}
+
+fn bench_xor_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parity_xor");
+    let bs = 32usize << 10;
+    g.throughput(Throughput::Bytes(bs as u64));
+    g.bench_function("xor_32KB", |b| {
+        let src = vec![0x5Au8; bs];
+        let mut acc = vec![0u8; bs];
+        b.iter(|| {
+            xor_into(black_box(&mut acc), black_box(&src));
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_write_path, bench_read_path, bench_lock_table, bench_xor_kernel);
+criterion_main!(benches);

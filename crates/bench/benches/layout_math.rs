@@ -1,0 +1,94 @@
+//! Micro-benchmarks of the layout address arithmetic — the per-request
+//! hot path of the CDD client module.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use raidx_core::{ChainedDecluster, FaultSet, Layout, Raid10, Raid5, RaidX};
+
+fn bench_locate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("locate_data");
+    let bpd = 131_072;
+    let raidx = RaidX::new(16, 1, bpd);
+    let raid5 = Raid5::new(16, bpd);
+    let raid10 = Raid10::new(16, bpd);
+    let chained = ChainedDecluster::new(16, bpd);
+    g.bench_function("raidx", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for lb in 0..1024u64 {
+                acc ^= raidx.locate_data(black_box(lb)).disk;
+            }
+            acc
+        })
+    });
+    g.bench_function("raid5", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for lb in 0..1024u64 {
+                acc ^= raid5.locate_data(black_box(lb)).disk;
+            }
+            acc
+        })
+    });
+    g.bench_function("raid10", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for lb in 0..1024u64 {
+                acc ^= raid10.locate_data(black_box(lb)).disk;
+            }
+            acc
+        })
+    });
+    g.bench_function("chained", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for lb in 0..1024u64 {
+                acc ^= chained.locate_data(black_box(lb)).disk;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_image_addr(c: &mut Criterion) {
+    let raidx = RaidX::new(16, 3, 131_072);
+    c.bench_function("raidx_image_addr_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for lb in 0..1024u64 {
+                acc ^= raidx.image_addr(black_box(lb)).block;
+            }
+            acc
+        })
+    });
+}
+
+fn bench_read_source_degraded(c: &mut Criterion) {
+    let raid5 = Raid5::new(16, 131_072);
+    let failed = FaultSet::of(&[3]);
+    c.bench_function("raid5_degraded_read_source_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for lb in 0..1024u64 {
+                acc ^= match raid5.read_source(black_box(lb), &failed) {
+                    raidx_core::ReadSource::Primary(a) => a.disk,
+                    raidx_core::ReadSource::Reconstruct { siblings, .. } => siblings.len(),
+                    _ => 0,
+                };
+            }
+            acc
+        })
+    });
+}
+
+fn bench_merge_runs(c: &mut Criterion) {
+    let raidx = RaidX::new(16, 1, 131_072);
+    let items: Vec<(u64, raidx_core::BlockAddr)> =
+        (0..4096u64).map(|lb| (lb, raidx.locate_data(lb))).collect();
+    c.bench_function("merge_runs_4k_blocks", |b| {
+        b.iter(|| cdd::merge_runs(black_box(items.clone())))
+    });
+}
+
+criterion_group!(benches, bench_locate, bench_image_addr, bench_read_source_degraded, bench_merge_runs);
+criterion_main!(benches);

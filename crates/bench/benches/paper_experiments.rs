@@ -1,0 +1,79 @@
+//! `cargo bench` entry points for the paper's experiments: one Criterion
+//! benchmark per table/figure, each timing a representative point of the
+//! corresponding experiment (the full sweeps are the `bench` binaries:
+//! `fig5`, `table3`, `fig6`, `fig7`, `table2`, `fault_tolerance`,
+//! `ablations`, `all_experiments`).
+
+use bench::{exp_fig5, exp_fig6, exp_table2, SystemKind};
+use cdd::{CddConfig, IoSystem};
+use checkpoint::{run_striped_checkpoint, CheckpointConfig};
+use cluster::ClusterConfig;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use raidx_core::Arch;
+use sim_core::Engine;
+use workloads::IoPattern;
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_analytic_model", |b| {
+        b.iter(|| black_box(exp_table2::render(16).len()))
+    });
+}
+
+fn bench_fig5_point(c: &mut Criterion) {
+    c.bench_function("fig5_point_raidx_large_write_8c", |b| {
+        b.iter(|| {
+            let r = exp_fig5::run_point(
+                SystemKind::Raid(Arch::RaidX),
+                IoPattern::LargeWrite,
+                8,
+            );
+            black_box(r.aggregate_mbs)
+        })
+    });
+}
+
+fn bench_table3_pair(c: &mut Criterion) {
+    c.bench_function("table3_pair_nfs_small_write", |b| {
+        b.iter(|| {
+            let one = exp_fig5::run_point(SystemKind::Nfs, IoPattern::SmallWrite, 1);
+            let many = exp_fig5::run_point(SystemKind::Nfs, IoPattern::SmallWrite, 16);
+            black_box(many.aggregate_mbs / one.aggregate_mbs)
+        })
+    });
+}
+
+fn bench_fig6_point(c: &mut Criterion) {
+    c.bench_function("fig6_andrew_raidx_4c", |b| {
+        b.iter(|| {
+            let r = exp_fig6::run_point(SystemKind::Raid(Arch::RaidX), 4);
+            black_box(r.total_secs())
+        })
+    });
+}
+
+fn bench_fig7_point(c: &mut Criterion) {
+    c.bench_function("fig7_checkpoint_4x3_stagger4", |b| {
+        b.iter(|| {
+            let mut cc = ClusterConfig::trojans_4x3();
+            cc.disk.capacity = 1 << 30;
+            let mut engine = Engine::new();
+            let mut store = IoSystem::new(&mut engine, cc, Arch::RaidX, CddConfig::default());
+            let cfg = CheckpointConfig {
+                processes: 12,
+                stagger_width: 4,
+                ckpt_bytes: 1 << 20,
+                rounds: 1,
+                ..Default::default()
+            };
+            let r = run_striped_checkpoint(&mut engine, &mut store, &cfg).unwrap();
+            black_box(r.round_secs[0])
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table2, bench_fig5_point, bench_table3_pair, bench_fig6_point, bench_fig7_point
+}
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Runs the design ablations (OSM deferral, locks, array shape, RAID-5
+//! small-write anatomy).
+
+fn main() {
+    println!("{}", bench::exp_ablations::render_all());
+}

@@ -1,0 +1,78 @@
+//! Runs every experiment and emits the complete results document
+//! (the data sections of EXPERIMENTS.md).
+
+fn main() {
+    println!("# RAID-x reproduction — experiment results\n");
+    println!("## Layout maps (Figures 1 & 3)");
+    println!("{}", bench::exp_layouts::render_all());
+    println!("## Table 2 (analytic model)");
+    println!("{}", bench::exp_table2::render(16));
+    println!("## Figure 5 (parallel I/O bandwidth)");
+    let f5 = bench::exp_fig5::run_sweep();
+    println!("{}", bench::exp_fig5::render(&f5));
+    let rows: Vec<Vec<String>> = f5
+        .iter()
+        .map(|p| {
+            vec![
+                p.kind.name().to_string(),
+                p.pattern.label().replace(' ', "-"),
+                p.clients.to_string(),
+                format!("{:.4}", p.result.aggregate_mbs),
+                format!("{:.6}", p.result.elapsed_secs),
+                format!("{:.6}", p.result.drain_secs),
+            ]
+        })
+        .collect();
+    if let Ok(path) = bench::harness::write_csv(
+        "fig5",
+        &["arch", "pattern", "clients", "aggregate_mbs", "elapsed_s", "drain_s"],
+        &rows,
+    ) {
+        eprintln!("wrote {path}");
+    }
+    println!("## Table 3 (1 vs 16 clients)");
+    let t3 = bench::exp_table3::run();
+    println!("{}", bench::exp_table3::render(&t3));
+    println!("## Figure 6 (Andrew benchmark)");
+    let f6 = bench::exp_fig6::run_sweep();
+    println!("{}", bench::exp_fig6::render(&f6));
+    let rows: Vec<Vec<String>> = f6
+        .iter()
+        .map(|p| {
+            let mut row = vec![p.kind.name().to_string(), p.clients.to_string()];
+            row.extend(p.result.phase_secs.iter().map(|s| format!("{s:.4}")));
+            row.push(format!("{:.4}", p.result.total_secs()));
+            row
+        })
+        .collect();
+    if let Ok(path) = bench::harness::write_csv(
+        "fig6",
+        &["arch", "clients", "makedir_s", "copy_s", "scandir_s", "readall_s", "make_s", "total_s"],
+        &rows,
+    ) {
+        eprintln!("wrote {path}");
+    }
+    println!("## Figure 7 (striped checkpointing)");
+    let f7 = bench::exp_fig7::run_sweep();
+    println!("{}", bench::exp_fig7::render(&f7));
+    println!("## Reliability under multiple failures");
+    println!("{}", bench::exp_reliability::render());
+    println!("## Fault tolerance (Section 6)");
+    println!("{}", bench::exp_fault::render());
+    println!("## Per-operation latency distributions");
+    let lat = bench::exp_latency::run_sweep();
+    println!("{}", bench::exp_latency::render(&lat));
+    println!("## Mixed transaction workload");
+    let mx = bench::exp_mixed::run_sweep();
+    println!("{}", bench::exp_mixed::render(&mx));
+    println!("## Degraded-mode and rebuild-under-load performance");
+    let dg = bench::exp_degraded::run_all();
+    println!("{}", bench::exp_degraded::render(&dg));
+    println!("## Resource utilization (serverless vs central)");
+    println!("{}", bench::exp_utilization::render());
+    println!("## Scalability beyond the prototype");
+    let sc = bench::exp_scalability::run_sweep();
+    println!("{}", bench::exp_scalability::render(&sc));
+    println!("## Ablations");
+    println!("{}", bench::exp_ablations::render_all());
+}

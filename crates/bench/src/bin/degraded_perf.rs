@@ -1,0 +1,6 @@
+//! Degraded-mode and rebuild-under-load bandwidth for every architecture.
+
+fn main() {
+    let points = bench::exp_degraded::run_all();
+    println!("{}", bench::exp_degraded::render(&points));
+}

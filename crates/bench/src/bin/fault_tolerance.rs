@@ -1,0 +1,5 @@
+//! Executes the Section 6 fault-tolerance scenarios.
+
+fn main() {
+    println!("{}", bench::exp_fault::render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 5 (aggregate bandwidth vs. clients).
+
+fn main() {
+    let points = bench::exp_fig5::run_sweep();
+    println!("{}", bench::exp_fig5::render(&points));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 6 (Andrew benchmark elapsed times).
+
+fn main() {
+    let points = bench::exp_fig6::run_sweep();
+    println!("{}", bench::exp_fig6::render(&points));
+}

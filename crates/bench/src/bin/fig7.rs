@@ -1,0 +1,6 @@
+//! Regenerates Figure 7 (striped checkpointing with staggering).
+
+fn main() {
+    let points = bench::exp_fig7::run_sweep();
+    println!("{}", bench::exp_fig7::render(&points));
+}

@@ -1,0 +1,6 @@
+//! Per-operation latency distributions across the architectures.
+
+fn main() {
+    let points = bench::exp_latency::run_sweep();
+    println!("{}", bench::exp_latency::render(&points));
+}

@@ -1,0 +1,5 @@
+//! Renders Figures 1 and 3 (placement maps).
+
+fn main() {
+    println!("{}", bench::exp_layouts::render_all());
+}

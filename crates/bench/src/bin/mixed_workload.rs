@@ -1,0 +1,6 @@
+//! Mixed transaction-style workload across the four architectures.
+
+fn main() {
+    let points = bench::exp_mixed::run_sweep();
+    println!("{}", bench::exp_mixed::render(&points));
+}

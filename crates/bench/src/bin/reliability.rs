@@ -1,0 +1,5 @@
+//! Survival probabilities under multiple random disk failures.
+
+fn main() {
+    println!("{}", bench::exp_reliability::render());
+}

@@ -1,0 +1,7 @@
+//! RAID-x scalability sweep (the paper's "several hundreds of disks"
+//! future-work direction).
+
+fn main() {
+    let points = bench::exp_scalability::run_sweep();
+    println!("{}", bench::exp_scalability::render(&points));
+}

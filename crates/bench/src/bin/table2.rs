@@ -1,0 +1,6 @@
+//! Regenerates Table 2 (analytic peak performance).
+
+fn main() {
+    println!("{}", bench::exp_table2::render(16));
+    println!("{}", bench::exp_table2::render(4));
+}

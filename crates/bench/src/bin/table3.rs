@@ -1,0 +1,6 @@
+//! Regenerates Table 3 (1 vs 16 clients, improvement factors).
+
+fn main() {
+    let rows = bench::exp_table3::run();
+    println!("{}", bench::exp_table3::render(&rows));
+}

@@ -1,0 +1,5 @@
+//! Per-resource utilization breakdown: serverless RAID-x vs central NFS.
+
+fn main() {
+    println!("{}", bench::exp_utilization::render());
+}

@@ -1,0 +1,267 @@
+//! Ablations of the design decisions DESIGN.md calls out:
+//!
+//! 1. **Background vs. synchronous image writes** — the OSM "hiding"
+//!    claim: turning off deferral should collapse RAID-x's write advantage
+//!    to RAID-10 levels.
+//! 2. **Lock-group broadcast cost** — the consistency module's price.
+//! 3. **Array shape** — n×k sweeps (12×1, 6×2, 4×3, 2×6): parallelism vs.
+//!    pipelining.
+//! 4. **RAID-5 small-write anatomy** — operation counts showing the
+//!    four-op read-modify-write cycle.
+
+use cdd::{CddConfig, IoSystem};
+use cluster::ClusterConfig;
+use raidx_core::Arch;
+use sim_core::Engine;
+use workloads::{run_parallel_io, IoPattern, ParallelIoConfig};
+
+use crate::harness::md_table;
+
+fn run_with(cdd: CddConfig, pattern: IoPattern, clients: usize, cc: ClusterConfig) -> f64 {
+    let mut engine = Engine::new();
+    let mut store = IoSystem::new(&mut engine, cc, Arch::RaidX, cdd);
+    let cfg = ParallelIoConfig { clients, pattern, repeats: 3, ..Default::default() };
+    run_parallel_io(&mut engine, &mut store, &cfg).unwrap().aggregate_mbs
+}
+
+/// Ablation 1: deferred vs. synchronous images.
+pub fn background_mirroring() -> String {
+    let mut out = String::from(
+        "\n### Ablation: background (OSM) vs. synchronous image writes, RAID-x, 16 clients\n\n",
+    );
+    let headers = ["Pattern", "deferred images (MB/s)", "synchronous images (MB/s)", "OSM gain"];
+    let rows: Vec<Vec<String>> = [IoPattern::SmallWrite, IoPattern::LargeWrite]
+        .into_iter()
+        .map(|pat| {
+            let on = run_with(CddConfig::default(), pat, 16, ClusterConfig::trojans());
+            let off = run_with(
+                CddConfig { background_mirroring: false, ..CddConfig::default() },
+                pat,
+                16,
+                ClusterConfig::trojans(),
+            );
+            vec![
+                pat.label().to_string(),
+                format!("{on:.2}"),
+                format!("{off:.2}"),
+                format!("{:.2}x", on / off),
+            ]
+        })
+        .collect();
+    out.push_str(&md_table(&headers, &rows));
+    out
+}
+
+/// Ablation 2: lock-group broadcast on/off.
+pub fn lock_cost() -> String {
+    let mut out = String::from(
+        "\n### Ablation: consistency-module lock broadcast cost, RAID-x small writes\n\n",
+    );
+    let headers = ["clients", "locks on (MB/s)", "locks off (MB/s)", "overhead"];
+    let rows: Vec<Vec<String>> = [1usize, 4, 16]
+        .into_iter()
+        .map(|c| {
+            let on = run_with(CddConfig::default(), IoPattern::SmallWrite, c, ClusterConfig::trojans());
+            let off = run_with(
+                CddConfig { lock_broadcast: false, ..CddConfig::default() },
+                IoPattern::SmallWrite,
+                c,
+                ClusterConfig::trojans(),
+            );
+            vec![
+                c.to_string(),
+                format!("{on:.2}"),
+                format!("{off:.2}"),
+                format!("{:.1}%", (off / on - 1.0) * 100.0),
+            ]
+        })
+        .collect();
+    out.push_str(&md_table(&headers, &rows));
+    out
+}
+
+/// Ablation 3: n×k shape sweep with 12 disks.
+pub fn shape_sweep() -> String {
+    let mut out = String::from(
+        "\n### Ablation: n x k array shape (12 disks total), RAID-x, 2 MB writes\n\n",
+    );
+    let headers = ["shape", "clients = nodes", "large write (MB/s)", "large read (MB/s)"];
+    let rows: Vec<Vec<String>> = [(12usize, 1usize), (6, 2), (4, 3), (2, 6)]
+        .into_iter()
+        .map(|(n, k)| {
+            let cc = ClusterConfig::shape(n, k);
+            let w = run_with(CddConfig::default(), IoPattern::LargeWrite, n, cc.clone());
+            let r = run_with(CddConfig::default(), IoPattern::LargeRead, n, cc);
+            vec![format!("{n}x{k}"), n.to_string(), format!("{w:.2}"), format!("{r:.2}")]
+        })
+        .collect();
+    out.push_str(&md_table(&headers, &rows));
+    out.push_str(
+        "\nWider stripes (more nodes) add parallel NICs and disks; deeper \
+         pipelines share a node's bus and link — parallelism beats \
+         pipelining when clients scale with nodes.\n",
+    );
+    out
+}
+
+/// Ablation 4: RAID-5 small-write anatomy — count disk operations per
+/// logical write.
+pub fn raid5_anatomy() -> String {
+    let mut cc = ClusterConfig::trojans();
+    cc.disk.capacity = 256 << 20;
+    let mut engine = Engine::new();
+    let mut s5 = IoSystem::new(&mut engine, cc.clone(), Arch::Raid5, CddConfig::default());
+    let bs = s5.block_size() as usize;
+    let one = vec![1u8; bs];
+    let plan5 = s5.write(0, 0, &one).unwrap();
+    let mut engine_x = Engine::new();
+    let mut sx = IoSystem::new(&mut engine_x, cc, Arch::RaidX, CddConfig::default());
+    let planx = sx.write(0, 0, &one).unwrap();
+    let d5 = plan5.disk_bytes() / bs as u64;
+    let dx = planx.disk_bytes() / bs as u64;
+    format!(
+        "\n### Ablation: small-write anatomy (disk block operations per one-block write)\n\n\
+         RAID-5: {d5} block ops (read old data + read old parity + write data + write parity).\n\
+         RAID-x: {dx} block op(s) foreground; the image is buffered into its \
+         mirroring group and flushed later as part of one long write.\n"
+    )
+}
+
+/// Ablation 5: disk queue discipline. The Figure-5 workloads keep each
+/// client's file compact on the platter, so seeks are short and rotation
+/// dominates — scheduling cannot help there (and measurably doesn't).
+/// A full-platter scattered read mix is where seek-aware disciplines pay:
+/// this ablation hammers one RAID-x array with random block reads spread
+/// over the whole logical space.
+pub fn disk_scheduling() -> String {
+    use sim_core::rng::SplitMix64;
+    use sim_disk::spec::SchedPolicy;
+
+    let run_pol = |p: SchedPolicy| -> f64 {
+        let mut cc = ClusterConfig::trojans();
+        cc.disk.scheduler = p;
+        let mut engine = Engine::new();
+        let mut store = IoSystem::new(&mut engine, cc, Arch::RaidX, CddConfig::default());
+        let cap = cdd::BlockStore::capacity_blocks(&store);
+        let mut rng = SplitMix64::new(0xD15C);
+        // 16 clients x 64 scattered single-block reads over the full space,
+        let mut total_bytes = 0u64;
+        for c in 0..16usize {
+            let mut ops = Vec::new();
+            for _ in 0..64 {
+                let lb = rng.next_below(cap);
+                let (_, plan) = cdd::BlockStore::read(&mut store, c, lb, 1).unwrap();
+                total_bytes += cdd::BlockStore::block_size(&store);
+                ops.push(plan);
+            }
+            // Issued asynchronously (deep queues), like a parallel file
+            // system driving the array hard.
+            engine.spawn_job(format!("c{c}"), sim_core::plan::par(ops));
+        }
+        let rep = engine.run().unwrap();
+        total_bytes as f64 / rep.foreground_end.as_secs_f64() / 1e6
+    };
+
+    let mut out = String::from(
+        "\n### Ablation: disk queue discipline (full-platter scattered reads, 16 clients)\n\n",
+    );
+    let headers = ["discipline", "aggregate (MB/s)"];
+    let rows: Vec<Vec<String>> = [
+        ("FCFS", SchedPolicy::Fcfs),
+        ("SSTF", SchedPolicy::Sstf),
+        ("Elevator", SchedPolicy::Elevator),
+    ]
+    .into_iter()
+    .map(|(name, p)| vec![name.to_string(), format!("{:.2}", run_pol(p))])
+    .collect();
+    out.push_str(&md_table(&headers, &rows));
+    out.push_str(
+        "\nOn the Figure-5 workloads (compact per-client files) scheduling \
+         changes nothing — seeks are short and the network dominates. On a \
+         full-platter random mix, seek-aware disciplines recover the long \
+         seek time that FCFS wastes.\n",
+    );
+    out
+}
+
+/// Ablation 6: replica read-balancing policies (the paper's announced
+/// "I/O load balancing" next step) on the mirrored architectures.
+pub fn read_balancing() -> String {
+    use cdd::ReadBalance;
+    let run_pol = |arch: Arch, policy: ReadBalance| {
+        let mut engine = Engine::new();
+        let cfg = CddConfig { read_balance: policy, ..CddConfig::default() };
+        let mut store = IoSystem::new(&mut engine, ClusterConfig::trojans(), arch, cfg);
+        let wl = ParallelIoConfig {
+            clients: 16,
+            pattern: IoPattern::LargeRead,
+            repeats: 3,
+            ..Default::default()
+        };
+        run_parallel_io(&mut engine, &mut store, &wl).unwrap().aggregate_mbs
+    };
+    let mut out = String::from(
+        "\n### Ablation: replica read balancing (16 clients, 2 MB reads)\n\n",
+    );
+    let headers = ["Architecture", "primary only (MB/s)", "layout preference (MB/s)", "least loaded (MB/s)"];
+    let rows: Vec<Vec<String>> = [Arch::Raid10, Arch::Chained, Arch::RaidX]
+        .into_iter()
+        .map(|arch| {
+            vec![
+                arch.name().to_string(),
+                format!("{:.2}", run_pol(arch, ReadBalance::PrimaryOnly)),
+                format!("{:.2}", run_pol(arch, ReadBalance::LayoutPreference)),
+                format!("{:.2}", run_pol(arch, ReadBalance::LeastLoaded)),
+            ]
+        })
+        .collect();
+    out.push_str(&md_table(&headers, &rows));
+    out.push_str(
+        "\nRAID-10 gains ~50%: only half its spindles hold primaries, so \
+         load-aware replica selection recruits the idle mirrors. For \
+         chained declustering the *static* alternation actually hurts — \
+         redirected runs land in the far image region of the platter and \
+         pay long seeks — while the load-aware policy correctly stays on \
+         primaries when load is already even. RAID-x primaries stripe over \
+         every disk, so no policy changes anything: its balance is \
+         structural.\n",
+    );
+    out
+}
+
+/// All ablations.
+pub fn render_all() -> String {
+    format!(
+        "{}{}{}{}{}{}",
+        background_mirroring(),
+        lock_cost(),
+        shape_sweep(),
+        disk_scheduling(),
+        read_balancing(),
+        raid5_anatomy()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deferral_is_the_win() {
+        let on = run_with(CddConfig::default(), IoPattern::SmallWrite, 8, ClusterConfig::trojans());
+        let off = run_with(
+            CddConfig { background_mirroring: false, ..CddConfig::default() },
+            IoPattern::SmallWrite,
+            8,
+            ClusterConfig::trojans(),
+        );
+        assert!(on > 1.2 * off, "deferred {on:.2} vs sync {off:.2}");
+    }
+
+    #[test]
+    fn raid5_does_four_ops() {
+        let text = raid5_anatomy();
+        assert!(text.contains("RAID-5: 4 block ops"), "{text}");
+        assert!(text.contains("RAID-x: 1 block op"), "{text}");
+    }
+}

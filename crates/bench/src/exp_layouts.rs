@@ -1,0 +1,135 @@
+//! Figures 1 and 3: render the block/image placement maps of RAID-x OSM,
+//! chained declustering and the 4×3 two-dimensional array, exactly as the
+//! paper draws them.
+
+use raidx_core::{ChainedDecluster, Layout, RaidX};
+
+/// Render Figure 1a: OSM on 4 disks, 3 stripes of data + their images.
+pub fn render_figure_1a() -> String {
+    let l = RaidX::new(4, 1, 1000);
+    let mut out = String::from("\n### Figure 1(a): orthogonal striping and mirroring, 4 disks\n\n```\n");
+    out.push_str("            Disk0   Disk1   Disk2   Disk3\n");
+    for row in 0..3u64 {
+        out.push_str(&format!("data row {row} "));
+        for disk in 0..4usize {
+            let lb = (0..12u64).find(|&lb| {
+                let a = l.locate_data(lb);
+                a.disk == disk && a.block == row
+            });
+            out.push_str(&format!("  B{:<5}", lb.expect("dense")));
+        }
+        out.push('\n');
+    }
+    for row in 0..3u64 {
+        out.push_str(&format!("mirr row {row} "));
+        for disk in 0..4usize {
+            let img = (0..12u64).find(|&lb| {
+                let a = l.image_addr(lb);
+                a.disk == disk && a.block == l.image_base() + row
+            });
+            match img {
+                Some(lb) => out.push_str(&format!("  M{lb:<5}")),
+                None => out.push_str("  -     "),
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str("```\n");
+    out
+}
+
+/// Render Figure 1b: chained declustering on 4 disks.
+pub fn render_figure_1b() -> String {
+    let l = ChainedDecluster::new(4, 6);
+    let mut out =
+        String::from("\n### Figure 1(b): skewed mirroring in chained declustering, 4 disks\n\n```\n");
+    out.push_str("            Disk0   Disk1   Disk2   Disk3\n");
+    for row in 0..3u64 {
+        out.push_str(&format!("data row {row} "));
+        for disk in 0..4u64 {
+            out.push_str(&format!("  B{:<5}", row * 4 + disk));
+        }
+        out.push('\n');
+    }
+    for row in 0..3u64 {
+        out.push_str(&format!("mirr row {row} "));
+        for disk in 0..4usize {
+            let img = (0..12u64).find(|&lb| {
+                let a = l.locate_images(lb)[0];
+                a.disk == disk && a.block == 3 + row
+            });
+            match img {
+                Some(lb) => out.push_str(&format!("  M{lb:<5}")),
+                None => out.push_str("  -     "),
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str("```\n");
+    out
+}
+
+/// Render Figure 3: the 4×3 orthogonal array — which disk holds each of
+/// the first 48 data blocks.
+pub fn render_figure_3() -> String {
+    let l = RaidX::new(4, 3, 1000);
+    let mut out = String::from(
+        "\n### Figure 3: 4x3 RAID-x — disk D(j) on node (j mod 4), stripes \
+         rotate over rows; per-disk data columns:\n\n```\n",
+    );
+    for node in 0..4 {
+        out.push_str(&format!("Node {node}: "));
+        for row in 0..3 {
+            let disk = row * 4 + node;
+            let blocks: Vec<u64> = (0..48u64)
+                .filter(|&lb| l.locate_data(lb).disk == disk)
+                .take(4)
+                .collect();
+            out.push_str(&format!(
+                "D{disk:<2}[{}]  ",
+                blocks.iter().map(|b| format!("B{b}")).collect::<Vec<_>>().join(",")
+            ));
+        }
+        out.push('\n');
+    }
+    out.push_str("```\n");
+    out
+}
+
+/// All three renderings.
+pub fn render_all() -> String {
+    format!("{}{}{}", render_figure_1a(), render_figure_1b(), render_figure_3())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn figure_1a_matches_paper_text() {
+        let f = super::render_figure_1a();
+        // "The image blocks (such as M0, M1, M2) are clustered in the same
+        // disk (Disk 3) vertically."
+        let lines: Vec<&str> = f.lines().collect();
+        let m_rows: Vec<&&str> = lines.iter().filter(|l| l.starts_with("mirr")).collect();
+        assert_eq!(m_rows.len(), 3);
+        // Disk 3's column in the mirror rows holds M0, M1, M2.
+        assert!(m_rows[0].contains("M0"));
+        assert!(m_rows[1].contains("M1"));
+        assert!(m_rows[2].contains("M2"));
+    }
+
+    #[test]
+    fn figure_3_has_all_nodes() {
+        let f = super::render_figure_3();
+        for n in 0..4 {
+            assert!(f.contains(&format!("Node {n}:")));
+        }
+        assert!(f.contains("B0"));
+    }
+
+    #[test]
+    fn figure_1b_renders() {
+        let f = super::render_figure_1b();
+        assert!(f.contains("chained declustering"));
+        assert!(f.contains("M0"));
+    }
+}

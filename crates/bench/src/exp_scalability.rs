@@ -1,0 +1,106 @@
+//! Scalability beyond the Trojans prototype — the paper's stated next
+//! step ("an enlarged prototype of several hundreds of disks on a much
+//! larger Trojans cluster"): RAID-x bandwidth as the cluster grows, on
+//! the 1999 interconnect and on gigabit Ethernet.
+
+use cdd::{CddConfig, IoSystem};
+use cluster::ClusterConfig;
+use raidx_core::Arch;
+use sim_core::Engine;
+use sim_net::NetSpec;
+use workloads::{run_parallel_io, IoPattern, ParallelIoConfig};
+
+use crate::harness::{md_table, par_map};
+
+/// One scalability point.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Nodes (= clients = disks, one disk per node).
+    pub nodes: usize,
+    /// Gigabit interconnect?
+    pub gigabit: bool,
+    /// Aggregate large-read MB/s.
+    pub read_mbs: f64,
+    /// Aggregate large-write MB/s.
+    pub write_mbs: f64,
+}
+
+/// Node counts swept.
+pub const NODES: [usize; 5] = [4, 8, 16, 32, 64];
+
+fn run_one(nodes: usize, gigabit: bool, pattern: IoPattern) -> f64 {
+    let mut cc = ClusterConfig::shape(nodes, 1);
+    if gigabit {
+        cc.net = NetSpec::gigabit();
+    }
+    let mut engine = Engine::new();
+    let mut store = IoSystem::new(&mut engine, cc, Arch::RaidX, CddConfig::default());
+    let cfg = ParallelIoConfig { clients: nodes, pattern, repeats: 2, ..Default::default() };
+    run_parallel_io(&mut engine, &mut store, &cfg).expect("scale run failed").aggregate_mbs
+}
+
+/// Full sweep.
+pub fn run_sweep() -> Vec<ScalePoint> {
+    let mut cases = Vec::new();
+    for gigabit in [false, true] {
+        for nodes in NODES {
+            cases.push((nodes, gigabit));
+        }
+    }
+    par_map(cases, |(nodes, gigabit)| ScalePoint {
+        nodes,
+        gigabit,
+        read_mbs: run_one(nodes, gigabit, IoPattern::LargeRead),
+        write_mbs: run_one(nodes, gigabit, IoPattern::LargeWrite),
+    })
+}
+
+/// Render as markdown.
+pub fn render(points: &[ScalePoint]) -> String {
+    let mut out = String::from(
+        "\n### Scalability: RAID-x aggregate bandwidth as the cluster grows \
+         (clients = nodes = disks)\n\n",
+    );
+    for gigabit in [false, true] {
+        out.push_str(&format!(
+            "\n**{} interconnect**\n\n",
+            if gigabit { "Gigabit" } else { "Fast Ethernet (1999)" }
+        ));
+        let headers = ["nodes", "large read (MB/s)", "large write (MB/s)", "read MB/s per node"];
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .filter(|p| p.gigabit == gigabit)
+            .map(|p| {
+                vec![
+                    p.nodes.to_string(),
+                    format!("{:.1}", p.read_mbs),
+                    format!("{:.1}", p.write_mbs),
+                    format!("{:.2}", p.read_mbs / p.nodes as f64),
+                ]
+            })
+            .collect();
+        out.push_str(&md_table(&headers, &rows));
+    }
+    out.push_str(
+        "\nThe serverless design scales with node count because every node \
+         contributes a NIC port and a disk arm; per-node efficiency dips \
+         slowly as the lock broadcast and cross-traffic grow. The same \
+         software on gigabit shifts the bottleneck to the disk arms.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raidx_scales_superlinearly_vs_flat() {
+        let r8 = run_one(8, false, IoPattern::LargeRead);
+        let r32 = run_one(32, false, IoPattern::LargeRead);
+        assert!(
+            r32 > 2.5 * r8,
+            "32 nodes {r32:.1} MB/s vs 8 nodes {r8:.1} MB/s — not scaling"
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Table 3: achievable I/O bandwidth at 1 vs. 16 clients, and the
+//! improvement factor, for the four architectures.
+
+use workloads::IoPattern;
+
+use crate::exp_fig5::run_point;
+use crate::harness::{md_table, par_map, SystemKind};
+
+/// One table row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Architecture.
+    pub kind: SystemKind,
+    /// Operation.
+    pub pattern: IoPattern,
+    /// MB/s with one client.
+    pub one: f64,
+    /// MB/s with sixteen clients.
+    pub sixteen: f64,
+}
+
+impl Row {
+    /// 16-client bandwidth over 1-client bandwidth.
+    pub fn improvement(&self) -> f64 {
+        self.sixteen / self.one
+    }
+}
+
+/// The operations the paper tabulates (it omits small read, whose results
+/// "are very close to that for large read").
+pub const OPS: [IoPattern; 3] = [IoPattern::LargeRead, IoPattern::LargeWrite, IoPattern::SmallWrite];
+
+/// Measure every row.
+pub fn run() -> Vec<Row> {
+    let mut cases = Vec::new();
+    for kind in SystemKind::MEASURED {
+        for pattern in OPS {
+            cases.push((kind, pattern));
+        }
+    }
+    par_map(cases, |(kind, pattern)| {
+        let one = run_point(kind, pattern, 1).aggregate_mbs;
+        let sixteen = run_point(kind, pattern, 16).aggregate_mbs;
+        Row { kind, pattern, one, sixteen }
+    })
+}
+
+/// Render as markdown.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::from(
+        "\n### Table 3: achievable I/O bandwidth and improvement factor (1 vs 16 clients)\n\n",
+    );
+    let headers = ["Architecture", "Operation", "1 client (MB/s)", "16 clients (MB/s)", "Improvement"];
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.kind.name().to_string(),
+                r.pattern.label().to_string(),
+                format!("{:.2}", r.one),
+                format!("{:.2}", r.sixteen),
+                format!("{:.2}x", r.improvement()),
+            ]
+        })
+        .collect();
+    out.push_str(&md_table(&headers, &data));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raidx_core::Arch;
+
+    #[test]
+    fn raidx_has_best_improvement_for_writes() {
+        // Small sanity subset (full sweep is the binary's job): RAID-x
+        // improves more from 1 to 16 clients than NFS does.
+        let rx1 = run_point(SystemKind::Raid(Arch::RaidX), IoPattern::LargeWrite, 1).aggregate_mbs;
+        let rx16 = run_point(SystemKind::Raid(Arch::RaidX), IoPattern::LargeWrite, 16).aggregate_mbs;
+        let n1 = run_point(SystemKind::Nfs, IoPattern::LargeWrite, 1).aggregate_mbs;
+        let n16 = run_point(SystemKind::Nfs, IoPattern::LargeWrite, 16).aggregate_mbs;
+        assert!(rx16 / rx1 > 2.0 * (n16 / n1).max(0.1));
+    }
+}

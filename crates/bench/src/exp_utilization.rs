@@ -1,0 +1,129 @@
+//! Resource-utilization breakdown: where the bytes and the busy time go
+//! on a serverless RAID-x cluster versus the NFS baseline. Quantifies the
+//! paper's central architectural argument — the single I/O space spreads
+//! load over every NIC and disk arm, while NFS piles it on one node.
+
+use cdd::{CddConfig, IoSystem};
+use cluster::{Cluster, ClusterConfig};
+use nfs_sim::{NfsConfig, NfsSystem};
+use sim_core::{Engine, SimDuration};
+use raidx_core::Arch;
+use workloads::{run_parallel_io, IoPattern, ParallelIoConfig};
+
+use crate::harness::md_table;
+
+/// Utilization summary of one resource class.
+#[derive(Debug, Clone)]
+pub struct ClassUtil {
+    /// Class label ("disk", "nic-tx", ...).
+    pub class: &'static str,
+    /// Mean utilization over the run (0..=1).
+    pub mean: f64,
+    /// Highest single-resource utilization.
+    pub max: f64,
+    /// Total bytes through the class.
+    pub bytes: u64,
+}
+
+fn summarize(engine: &Engine, cluster: &Cluster, span: SimDuration) -> Vec<ClassUtil> {
+    let mut classes: Vec<(&'static str, Vec<sim_core::ResourceId>)> = vec![
+        ("cpu", cluster.nodes.iter().map(|n| n.cpu).collect()),
+        ("nic-tx", cluster.nodes.iter().map(|n| n.tx).collect()),
+        ("nic-rx", cluster.nodes.iter().map(|n| n.rx).collect()),
+        ("scsi-bus", cluster.nodes.iter().map(|n| n.bus).collect()),
+        ("disk", cluster.disks.iter().map(|d| d.res).collect()),
+    ];
+    classes
+        .drain(..)
+        .map(|(class, ids)| {
+            let utils: Vec<f64> =
+                ids.iter().map(|&id| engine.resource_stats(id).utilization(span)).collect();
+            let bytes: u64 = ids.iter().map(|&id| engine.resource_stats(id).bytes).sum();
+            ClassUtil {
+                class,
+                mean: utils.iter().sum::<f64>() / utils.len() as f64,
+                max: utils.iter().cloned().fold(0.0, f64::max),
+                bytes,
+            }
+        })
+        .collect()
+}
+
+/// Run the 16-client large-write workload on both systems and render the
+/// per-class utilization tables.
+pub fn render() -> String {
+    let cfg = ParallelIoConfig {
+        clients: 16,
+        pattern: IoPattern::LargeWrite,
+        repeats: 2,
+        ..Default::default()
+    };
+
+    let mut out = String::from(
+        "\n### Resource utilization, 16 clients x 2 MB writes\n",
+    );
+    // RAID-x.
+    {
+        let mut engine = Engine::new();
+        let mut sys =
+            IoSystem::new(&mut engine, ClusterConfig::trojans(), Arch::RaidX, CddConfig::default());
+        let r = run_parallel_io(&mut engine, &mut sys, &cfg).unwrap();
+        let span = SimDuration::from_secs_f64(r.drain_secs);
+        out.push_str("\n**RAID-x (serverless single I/O space)**\n\n");
+        out.push_str(&util_table(&summarize(&engine, &sys.cluster, span)));
+    }
+    // NFS.
+    {
+        let mut engine = Engine::new();
+        let mut sys = NfsSystem::new(&mut engine, ClusterConfig::trojans(), NfsConfig::default());
+        let r = run_parallel_io(&mut engine, &mut sys, &cfg).unwrap();
+        let span = SimDuration::from_secs_f64(r.drain_secs);
+        let summary = summarize(&engine, &sys.cluster, span);
+        out.push_str("\n**NFS (central server at node 0)**\n\n");
+        out.push_str(&util_table(&summary));
+        // Name the saturated component explicitly.
+        let hottest = summary
+            .iter()
+            .max_by(|a, b| a.max.total_cmp(&b.max))
+            .expect("summary nonempty");
+        let server_rx = engine.resource_stats(sys.cluster.nodes[0].rx).utilization(span);
+        out.push_str(&format!(
+            "\nNFS bottleneck: the server's {} at {:.0}% utilization (its rx \
+             port runs at {:.0}%), while the mean across the cluster sits at \
+             {:.0}% — fifteen nodes' hardware idles. This is the saturation \
+             behind Figure 5's flat NFS curves.\n",
+            hottest.class,
+            hottest.max * 100.0,
+            server_rx * 100.0,
+            hottest.mean * 100.0
+        ));
+    }
+    out
+}
+
+fn util_table(rows: &[ClassUtil]) -> String {
+    let headers = ["resource class", "mean util", "max util", "bytes moved"];
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.class.to_string(),
+                format!("{:.1}%", r.mean * 100.0),
+                format!("{:.1}%", r.max * 100.0),
+                format!("{:.1} MB", r.bytes as f64 / 1e6),
+            ]
+        })
+        .collect();
+    md_table(&headers, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_both_systems() {
+        let t = super::render();
+        assert!(t.contains("RAID-x (serverless"));
+        assert!(t.contains("NFS (central server"));
+        assert!(t.contains("disk"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Shared harness utilities: system construction and parallel sweeps.
+
+use cdd::{BlockStore, CddConfig, IoSystem};
+use cluster::ClusterConfig;
+use nfs_sim::{NfsConfig, NfsSystem};
+use raidx_core::Arch;
+use sim_core::Engine;
+
+/// The I/O architectures the experiments compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+pub enum SystemKind {
+    /// Centralized NFS server.
+    Nfs,
+    /// Distributed RAID under the CDD single I/O space.
+    Raid(Arch),
+}
+
+impl SystemKind {
+    /// The four measured architectures, in the paper's plotting order.
+    pub const MEASURED: [SystemKind; 4] = [
+        SystemKind::Nfs,
+        SystemKind::Raid(Arch::Raid5),
+        SystemKind::Raid(Arch::Raid10),
+        SystemKind::Raid(Arch::RaidX),
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::Nfs => "NFS",
+            SystemKind::Raid(a) => a.name(),
+        }
+    }
+}
+
+/// Build the block store for `kind` on a cluster described by `cc`,
+/// registering its resources in `engine`.
+pub fn build_store(engine: &mut Engine, cc: ClusterConfig, kind: SystemKind) -> Box<dyn BlockStore> {
+    match kind {
+        SystemKind::Nfs => Box::new(NfsSystem::new(engine, cc, NfsConfig::default())),
+        SystemKind::Raid(arch) => {
+            Box::new(IoSystem::new(engine, cc, arch, CddConfig::default()))
+        }
+    }
+}
+
+/// Build with a custom CDD configuration (for the ablations).
+pub fn build_store_with(
+    engine: &mut Engine,
+    cc: ClusterConfig,
+    arch: Arch,
+    cdd: CddConfig,
+) -> Box<dyn BlockStore> {
+    Box::new(IoSystem::new(engine, cc, arch, cdd))
+}
+
+/// Map `f` over `items` on a scoped worker pool (simulations are
+/// independent and CPU-bound, so sweeps scale with cores). Result order
+/// matches input order.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = std::thread::available_parallelism().map_or(4, |p| p.get()).min(n.max(1));
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let work: crossbeam::queue::SegQueue<(usize, T)> = crossbeam::queue::SegQueue::new();
+    for it in items.into_iter().enumerate() {
+        work.push(it);
+    }
+    let slots: Vec<parking_lot::Mutex<&mut Option<R>>> =
+        results.iter_mut().map(parking_lot::Mutex::new).collect();
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| {
+                while let Some((i, item)) = work.pop() {
+                    let r = f(item);
+                    **slots[i].lock() = Some(r);
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    drop(slots);
+    results.into_iter().map(|r| r.expect("slot unfilled")).collect()
+}
+
+/// Write a CSV file (header + rows) under `results/`, creating the
+/// directory if needed. Returns the path written. Values are emitted
+/// verbatim — callers pass plain numbers and names without commas.
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<String> {
+    std::fs::create_dir_all("results")?;
+    let path = format!("results/{name}.csv");
+    let mut out = String::new();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+/// Render a markdown table: header row + alignment + data rows.
+pub fn md_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&headers.join(" | "));
+    out.push_str(" |\n|");
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map((0..100).collect::<Vec<i64>>(), |x| x * x);
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn build_every_kind() {
+        for kind in SystemKind::MEASURED {
+            let mut e = Engine::new();
+            let mut cc = ClusterConfig::shape(4, 1);
+            cc.disk.capacity = 16 << 20;
+            let mut s = build_store(&mut e, cc, kind);
+            let bs = s.block_size() as usize;
+            s.write(0, 0, &vec![1u8; bs]).unwrap();
+            let (got, _) = s.read(1, 0, 1).unwrap();
+            assert_eq!(got, vec![1u8; bs], "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn md_table_renders() {
+        let t = md_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert!(t.contains("| a | b |"));
+        assert!(t.contains("| 1 | 2 |"));
+    }
+}

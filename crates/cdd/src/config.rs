@@ -1,0 +1,71 @@
+//! Tunables of the cooperative disk driver layer.
+
+use sim_core::SimDuration;
+
+/// How reads are spread across a block's replicas (the "I/O load
+/// balancing" the paper names as the Trojans project's next phase).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadBalance {
+    /// Follow the layout's static preference (alternate copies by row —
+    /// the behaviour of the original prototype).
+    #[default]
+    LayoutPreference,
+    /// Always read the primary copy (mirrors serve only failures).
+    PrimaryOnly,
+    /// Track bytes dispatched per disk and send each run to the less
+    /// loaded copy.
+    LeastLoaded,
+}
+
+/// Costs and policies of the CDD protocol, separate from the hardware
+/// parameters in [`cluster::ClusterConfig`].
+#[derive(Debug, Clone)]
+pub struct CddConfig {
+    /// Size of a control message (request header, lock message).
+    pub control_bytes: u64,
+    /// Size of an acknowledgement.
+    pub ack_bytes: u64,
+    /// Host XOR bandwidth for parity math, bytes/second.
+    pub xor_rate: u64,
+    /// Extra driver CPU time charged per block operation (kernel-level CDD
+    /// dispatch; the paper's point is that this is *small* because no
+    /// cross-space system calls are needed).
+    pub driver_overhead: SimDuration,
+    /// Whether writes first acquire a lock group via a broadcast round to
+    /// every peer CDD's consistency module (the replicated lock-group
+    /// table). Disable to measure the consistency protocol's cost.
+    pub lock_broadcast: bool,
+    /// Whether RAID-x image flushes run in the background (the OSM claim).
+    /// Disabling makes image writes foreground — the key ablation.
+    pub background_mirroring: bool,
+    /// Replica-selection policy for reads.
+    pub read_balance: ReadBalance,
+}
+
+impl Default for CddConfig {
+    fn default() -> Self {
+        CddConfig {
+            control_bytes: 64,
+            ack_bytes: 32,
+            xor_rate: 400_000_000,
+            driver_overhead: SimDuration::from_micros(15),
+            lock_broadcast: true,
+            background_mirroring: true,
+            read_balance: ReadBalance::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = CddConfig::default();
+        assert!(c.control_bytes > 0 && c.ack_bytes > 0);
+        assert!(c.xor_rate > 0);
+        assert!(c.lock_broadcast);
+        assert!(c.background_mirroring);
+    }
+}

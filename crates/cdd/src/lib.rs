@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! # cdd — cooperative disk drivers and the single I/O space
+//!
+//! The paper's enabling mechanism, reproduced in user space: every node's
+//! CDD combines a *storage manager* (serves its local disks to peers), a
+//! *client module* (redirects local requests to remote managers — device
+//! masquerading) and a *consistency module* (a replicated lock-group table
+//! granting block-range write permissions atomically). Together the CDDs
+//! form a **single I/O space**: any node addresses any block of the
+//! cluster-wide array with no central server.
+//!
+//! [`IoSystem`] is the entry point: it executes logical reads/writes for
+//! any client node, on any of the five layouts, producing both the real
+//! data movement (functional plane) and the timing [`sim_core::Plan`]
+//! (simulation plane). It also executes disk failure and rebuild.
+
+pub mod config;
+pub mod locks;
+pub mod ops;
+pub mod runs;
+pub mod store;
+pub mod system;
+
+pub use config::{CddConfig, ReadBalance};
+pub use locks::{LockConflict, LockGroupTable, LockHandle, LockRecord};
+pub use ops::OpBuilder;
+pub use runs::{merge_runs, Run};
+pub use store::BlockStore;
+pub use system::{IoError, IoSystem};

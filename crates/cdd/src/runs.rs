@@ -1,0 +1,103 @@
+//! Coalescing block lists into per-disk sequential runs.
+//!
+//! The CDD client module merges the physical blocks of one request that
+//! land consecutively on one disk into a single disk operation — this is
+//! how a full-stripe write becomes `n` streaming writes, and how a RAID-x
+//! mirroring group's images become one long sequential write.
+
+use raidx_core::BlockAddr;
+
+/// A maximal sequence of physically consecutive blocks on one disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Run {
+    /// Disk the run lives on.
+    pub disk: usize,
+    /// First physical block.
+    pub start: u64,
+    /// The logical blocks backing each physical block, in physical order.
+    pub lbs: Vec<u64>,
+}
+
+impl Run {
+    /// Number of blocks in the run.
+    pub fn len(&self) -> u64 {
+        self.lbs.len() as u64
+    }
+
+    /// True if the run is empty (never produced by [`merge_runs`]).
+    pub fn is_empty(&self) -> bool {
+        self.lbs.is_empty()
+    }
+}
+
+/// Merge `(logical, physical)` pairs into maximal consecutive runs.
+///
+/// Output runs are sorted by `(disk, start)`; input order is irrelevant.
+pub fn merge_runs(items: impl IntoIterator<Item = (u64, BlockAddr)>) -> Vec<Run> {
+    let mut v: Vec<(u64, BlockAddr)> = items.into_iter().collect();
+    v.sort_unstable_by_key(|&(_, a)| (a.disk, a.block));
+    let mut runs: Vec<Run> = Vec::new();
+    for (lb, addr) in v {
+        match runs.last_mut() {
+            Some(r) if r.disk == addr.disk && r.start + r.len() == addr.block => {
+                r.lbs.push(lb);
+            }
+            _ => runs.push(Run { disk: addr.disk, start: addr.block, lbs: vec![lb] }),
+        }
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(disk: usize, block: u64) -> BlockAddr {
+        BlockAddr::new(disk, block)
+    }
+
+    #[test]
+    fn consecutive_blocks_merge() {
+        let runs = merge_runs([(0, a(2, 10)), (1, a(2, 11)), (2, a(2, 12))]);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0], Run { disk: 2, start: 10, lbs: vec![0, 1, 2] });
+    }
+
+    #[test]
+    fn gaps_split_runs() {
+        let runs = merge_runs([(0, a(1, 0)), (1, a(1, 2))]);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].start, 0);
+        assert_eq!(runs[1].start, 2);
+    }
+
+    #[test]
+    fn different_disks_never_merge() {
+        let runs = merge_runs([(0, a(0, 5)), (1, a(1, 6))]);
+        assert_eq!(runs.len(), 2);
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let runs = merge_runs([(2, a(0, 7)), (0, a(0, 5)), (1, a(0, 6))]);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].lbs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn striped_write_merges_per_disk() {
+        // A 2-stripe write over 4 disks: lbs 0..8, disk = lb % 4,
+        // block = lb / 4 — each disk gets one 2-block run.
+        let items = (0..8u64).map(|lb| (lb, a((lb % 4) as usize, lb / 4)));
+        let runs = merge_runs(items);
+        assert_eq!(runs.len(), 4);
+        for r in &runs {
+            assert_eq!(r.len(), 2);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(merge_runs(std::iter::empty()).is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! The block-store abstraction shared by the serverless I/O space and the
+//! centralized NFS baseline, so file systems and workloads run unchanged
+//! over any architecture.
+
+use sim_core::Plan;
+
+use crate::system::{IoError, IoSystem};
+
+/// A logical block device any cluster node can address.
+///
+/// Implemented by [`IoSystem`] (the CDD single I/O space, any RAID layout)
+/// and by `nfs_sim::NfsSystem` (everything through one server).
+pub trait BlockStore {
+    /// Block size in bytes.
+    fn block_size(&self) -> u64;
+
+    /// Capacity in blocks.
+    fn capacity_blocks(&self) -> u64;
+
+    /// Number of client nodes.
+    fn nodes(&self) -> usize;
+
+    /// Short name of the backing architecture (for reports).
+    fn arch_name(&self) -> String;
+
+    /// The CPU resource of `client`'s node (workloads charge compute
+    /// phases against it).
+    fn cpu_of(&self, client: usize) -> sim_core::ResourceId;
+
+    /// Write whole blocks at `lb0` on behalf of node `client`; bytes are
+    /// durable on return, the [`Plan`] carries the cost.
+    fn write(&mut self, client: usize, lb0: u64, data: &[u8]) -> Result<Plan, IoError>;
+
+    /// Read `nblocks` at `lb0` for node `client`.
+    fn read(&mut self, client: usize, lb0: u64, nblocks: u64) -> Result<(Vec<u8>, Plan), IoError>;
+
+    /// Flush any write-behind state (deferred OSM image groups). The
+    /// returned plan performs the remaining background traffic; stores
+    /// with no deferral return [`Plan::Noop`].
+    fn flush(&mut self) -> Plan {
+        Plan::Noop
+    }
+
+    /// True if clients may cache metadata blocks between operations. The
+    /// CDD consistency module makes caching safe (write-invalidate over
+    /// the replicated lock table); 1999-era NFS revalidated attributes at
+    /// the server on every access, so its clients get no such benefit.
+    fn caches_metadata(&self) -> bool {
+        true
+    }
+}
+
+impl<T: BlockStore + ?Sized> BlockStore for Box<T> {
+    fn block_size(&self) -> u64 {
+        (**self).block_size()
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        (**self).capacity_blocks()
+    }
+
+    fn nodes(&self) -> usize {
+        (**self).nodes()
+    }
+
+    fn arch_name(&self) -> String {
+        (**self).arch_name()
+    }
+
+    fn cpu_of(&self, client: usize) -> sim_core::ResourceId {
+        (**self).cpu_of(client)
+    }
+
+    fn write(&mut self, client: usize, lb0: u64, data: &[u8]) -> Result<Plan, IoError> {
+        (**self).write(client, lb0, data)
+    }
+
+    fn read(&mut self, client: usize, lb0: u64, nblocks: u64) -> Result<(Vec<u8>, Plan), IoError> {
+        (**self).read(client, lb0, nblocks)
+    }
+
+    fn flush(&mut self) -> Plan {
+        (**self).flush()
+    }
+
+    fn caches_metadata(&self) -> bool {
+        (**self).caches_metadata()
+    }
+}
+
+impl BlockStore for IoSystem {
+    fn block_size(&self) -> u64 {
+        IoSystem::block_size(self)
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        IoSystem::capacity_blocks(self)
+    }
+
+    fn nodes(&self) -> usize {
+        self.cluster.cfg.nodes
+    }
+
+    fn arch_name(&self) -> String {
+        self.layout().name().to_string()
+    }
+
+    fn cpu_of(&self, client: usize) -> sim_core::ResourceId {
+        self.cluster.nodes[client].cpu
+    }
+
+    fn write(&mut self, client: usize, lb0: u64, data: &[u8]) -> Result<Plan, IoError> {
+        IoSystem::write(self, client, lb0, data)
+    }
+
+    fn read(&mut self, client: usize, lb0: u64, nblocks: u64) -> Result<(Vec<u8>, Plan), IoError> {
+        IoSystem::read(self, client, lb0, nblocks)
+    }
+
+    fn flush(&mut self) -> Plan {
+        self.flush_images()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CddConfig;
+    use cluster::ClusterConfig;
+    use raidx_core::Arch;
+    use sim_core::Engine;
+
+    #[test]
+    fn iosystem_implements_blockstore() {
+        let mut e = Engine::new();
+        let mut cfg = ClusterConfig::shape(4, 1);
+        cfg.disk.capacity = 4 << 20;
+        let mut s = IoSystem::new(&mut e, cfg, Arch::RaidX, CddConfig::default());
+        let store: &mut dyn BlockStore = &mut s;
+        assert_eq!(store.nodes(), 4);
+        assert_eq!(store.arch_name(), "RAID-x");
+        let bs = store.block_size() as usize;
+        store.write(0, 0, &vec![9u8; bs]).unwrap();
+        let (got, _) = store.read(1, 0, 1).unwrap();
+        assert_eq!(got, vec![9u8; bs]);
+    }
+}

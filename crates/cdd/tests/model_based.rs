@@ -1,0 +1,134 @@
+//! Model-based property testing of the single I/O space: random
+//! sequences of writes, reads, disk failures and rebuilds are applied
+//! both to the real system and to a trivial in-memory reference model;
+//! every read must agree byte-for-byte as long as the failure pattern is
+//! one the layout tolerates.
+
+use cdd::{CddConfig, IoSystem};
+use cluster::ClusterConfig;
+use proptest::prelude::*;
+use raidx_core::{Arch, FaultSet};
+use sim_core::Engine;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write `nblocks` tagged blocks at a position derived from `pos`.
+    Write { pos: u64, nblocks: u64, tag: u8 },
+    /// Read `nblocks` at a position derived from `pos`.
+    Read { pos: u64, nblocks: u64 },
+    /// Fail the disk derived from `pick` (skipped if it would exceed the
+    /// layout's tolerance).
+    Fail { pick: usize },
+    /// Rebuild the lowest-numbered failed disk, if any.
+    Rebuild,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u64..10_000, 1u64..8, any::<u8>())
+            .prop_map(|(pos, nblocks, tag)| Op::Write { pos, nblocks, tag }),
+        4 => (0u64..10_000, 1u64..8).prop_map(|(pos, nblocks)| Op::Read { pos, nblocks }),
+        1 => (0usize..64).prop_map(|pick| Op::Fail { pick }),
+        1 => Just(Op::Rebuild),
+    ]
+}
+
+/// Reference model: one tag byte per logical block (0 = never written).
+struct Model {
+    tags: Vec<u8>,
+}
+
+impl Model {
+    fn new(cap: u64) -> Self {
+        Model { tags: vec![0; cap as usize] }
+    }
+}
+
+fn run_scenario(arch: Arch, ops: Vec<Op>) {
+    let mut cc = ClusterConfig::shape(4, 2);
+    cc.disk.capacity = 8 << 20; // tiny disks keep the plane small
+    let mut engine = Engine::new();
+    let mut sys = IoSystem::new(&mut engine, cc, arch, CddConfig::default());
+    let bs = sys.block_size() as usize;
+    let cap = sys.capacity_blocks();
+    let mut model = Model::new(cap);
+    let mut faults = FaultSet::none();
+
+    for op in ops {
+        match op {
+            Op::Write { pos, nblocks, tag } => {
+                let lb0 = pos % (cap - nblocks);
+                let data: Vec<u8> = (0..nblocks as usize)
+                    .flat_map(|i| vec![tag.wrapping_add(i as u8); bs])
+                    .collect();
+                sys.write(0, lb0, &data)
+                    .unwrap_or_else(|e| panic!("write failed under tolerated faults: {e}"));
+                for i in 0..nblocks {
+                    model.tags[(lb0 + i) as usize] = tag.wrapping_add(i as u8);
+                }
+            }
+            Op::Read { pos, nblocks } => {
+                let lb0 = pos % (cap - nblocks);
+                let (got, _) = sys
+                    .read(1, lb0, nblocks)
+                    .unwrap_or_else(|e| panic!("read failed under tolerated faults: {e}"));
+                for i in 0..nblocks as usize {
+                    let want = model.tags[lb0 as usize + i];
+                    let block = &got[i * bs..(i + 1) * bs];
+                    assert!(
+                        block.iter().all(|&b| b == want),
+                        "{arch:?}: block {} read tag {} want {want} (faults: {:?})",
+                        lb0 + i as u64,
+                        block[0],
+                        faults.iter().collect::<Vec<_>>()
+                    );
+                }
+            }
+            Op::Fail { pick } => {
+                let disk = pick % sys.layout().ndisks();
+                if faults.contains(disk) {
+                    continue;
+                }
+                let mut candidate = faults.clone();
+                candidate.insert(disk);
+                if sys.layout().tolerates(&candidate) {
+                    sys.fail_disk(disk);
+                    faults = candidate;
+                }
+            }
+            Op::Rebuild => {
+                let first = faults.iter().next();
+                if let Some(disk) = first {
+                    sys.rebuild_disk(0, disk).expect("rebuild of tolerated failure");
+                    faults.remove(disk);
+                }
+            }
+        }
+    }
+    // Final invariant: all surviving redundancy must be self-consistent.
+    sys.scrub().unwrap_or_else(|e| panic!("{arch:?}: scrub failed after scenario: {e}"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn raidx_agrees_with_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        run_scenario(Arch::RaidX, ops);
+    }
+
+    #[test]
+    fn raid10_agrees_with_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        run_scenario(Arch::Raid10, ops);
+    }
+
+    #[test]
+    fn chained_agrees_with_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        run_scenario(Arch::Chained, ops);
+    }
+
+    #[test]
+    fn raid5_agrees_with_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        run_scenario(Arch::Raid5, ops);
+    }
+}

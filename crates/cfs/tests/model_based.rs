@@ -1,0 +1,189 @@
+//! Model-based property testing of the cluster file system: random
+//! operation sequences over a bounded namespace are applied to the real
+//! fs (over a RAID-x single I/O space) and to a trivial in-memory model;
+//! results — contents and errors alike — must agree.
+
+use std::collections::{HashMap, HashSet};
+
+use cdd::{CddConfig, IoSystem};
+use cfs::{Fs, FsError};
+use cluster::ClusterConfig;
+use proptest::prelude::*;
+use raidx_core::Arch;
+use sim_core::Engine;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Mkdir { d: u8 },
+    Create { d: u8, f: u8 },
+    WriteFile { d: u8, f: u8, size: u16, tag: u8 },
+    ReadFile { d: u8, f: u8 },
+    Unlink { d: u8, f: u8 },
+    Readdir { d: u8 },
+    Append { d: u8, f: u8, size: u16, tag: u8 },
+    Rename { d: u8, f: u8, d2: u8, f2: u8 },
+}
+
+fn ops() -> impl Strategy<Value = Op> {
+    let d = 0u8..3;
+    let f = 0u8..3;
+    prop_oneof![
+        1 => d.clone().prop_map(|d| Op::Mkdir { d }),
+        2 => (d.clone(), f.clone()).prop_map(|(d, f)| Op::Create { d, f }),
+        4 => (d.clone(), f.clone(), any::<u16>(), any::<u8>())
+            .prop_map(|(d, f, size, tag)| Op::WriteFile { d, f, size, tag }),
+        4 => (d.clone(), f.clone()).prop_map(|(d, f)| Op::ReadFile { d, f }),
+        1 => (d.clone(), f.clone()).prop_map(|(d, f)| Op::Unlink { d, f }),
+        2 => d.clone().prop_map(|d| Op::Readdir { d }),
+        3 => (d.clone(), f.clone(), 0u16..4096, any::<u8>())
+            .prop_map(|(d, f, size, tag)| Op::Append { d, f, size, tag }),
+        1 => (d.clone(), f.clone(), d, f)
+            .prop_map(|(d, f, d2, f2)| Op::Rename { d, f, d2, f2 }),
+    ]
+}
+
+fn dir_path(d: u8) -> String {
+    format!("/d{d}")
+}
+
+fn file_path(d: u8, f: u8) -> String {
+    format!("/d{d}/f{f}")
+}
+
+fn payload(size: u16, tag: u8) -> Vec<u8> {
+    (0..size as usize).map(|i| tag.wrapping_add((i % 191) as u8)).collect()
+}
+
+/// In-memory reference: which dirs exist, and file path -> contents.
+#[derive(Default)]
+struct Model {
+    dirs: HashSet<u8>,
+    files: HashMap<(u8, u8), Vec<u8>>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fs_agrees_with_model(script in proptest::collection::vec(ops(), 1..60)) {
+        let mut cc = ClusterConfig::shape(4, 1);
+        cc.disk.capacity = 64 << 20;
+        let mut engine = Engine::new();
+        let store = IoSystem::new(&mut engine, cc, Arch::RaidX, CddConfig::default());
+        let (mut fs, _) = Fs::format(store, 256, 0).unwrap();
+        let mut model = Model::default();
+
+        for (i, op) in script.into_iter().enumerate() {
+            let client = i % 4;
+            match op {
+                Op::Mkdir { d } => {
+                    let real = fs.mkdir(client, &dir_path(d));
+                    if model.dirs.insert(d) {
+                        prop_assert!(real.is_ok(), "mkdir should succeed");
+                    } else {
+                        prop_assert!(matches!(real, Err(FsError::Exists(_))));
+                    }
+                }
+                Op::Create { d, f } => {
+                    let real = fs.create(client, &file_path(d, f));
+                    if !model.dirs.contains(&d) {
+                        prop_assert!(matches!(real, Err(FsError::NotFound(_))));
+                    } else if let std::collections::hash_map::Entry::Vacant(e) =
+                        model.files.entry((d, f))
+                    {
+                        prop_assert!(real.is_ok());
+                        e.insert(Vec::new());
+                    } else {
+                        prop_assert!(matches!(real, Err(FsError::Exists(_))));
+                    }
+                }
+                Op::WriteFile { d, f, size, tag } => {
+                    let data = payload(size, tag);
+                    let real = fs.write_file(client, &file_path(d, f), &data);
+                    if !model.dirs.contains(&d) {
+                        prop_assert!(matches!(real, Err(FsError::NotFound(_))));
+                    } else {
+                        prop_assert!(real.is_ok(), "write_file failed: {:?}", real.err());
+                        model.files.insert((d, f), data);
+                    }
+                }
+                Op::ReadFile { d, f } => {
+                    let real = fs.read_file(client, &file_path(d, f));
+                    match model.files.get(&(d, f)) {
+                        Some(want) => {
+                            let (got, _) = real.expect("read of existing file");
+                            prop_assert_eq!(&got, want);
+                        }
+                        None => prop_assert!(matches!(real, Err(FsError::NotFound(_)))),
+                    }
+                }
+                Op::Unlink { d, f } => {
+                    let real = fs.unlink(client, &file_path(d, f));
+                    if model.files.remove(&(d, f)).is_some() {
+                        prop_assert!(real.is_ok());
+                    } else {
+                        prop_assert!(matches!(real, Err(FsError::NotFound(_))));
+                    }
+                }
+                Op::Append { d, f, size, tag } => {
+                    let data = payload(size, tag);
+                    let real = fs.append(client, &file_path(d, f), &data);
+                    if !model.dirs.contains(&d) {
+                        if data.is_empty() {
+                            prop_assert!(real.is_ok(), "empty append is a no-op");
+                        } else {
+                            prop_assert!(matches!(real, Err(FsError::NotFound(_))));
+                        }
+                    } else {
+                        prop_assert!(real.is_ok(), "append failed: {:?}", real.err());
+                        if !data.is_empty() || model.files.contains_key(&(d, f)) {
+                            model.files.entry((d, f)).or_default().extend_from_slice(&data);
+                        }
+                    }
+                }
+                Op::Rename { d, f, d2, f2 } => {
+                    let real = fs.rename(client, &file_path(d, f), &file_path(d2, f2));
+                    let src_exists = model.files.contains_key(&(d, f));
+                    let dst_exists = model.files.contains_key(&(d2, f2))
+                        || (d, f) == (d2, f2);
+                    let dst_dir = model.dirs.contains(&d2);
+                    if !src_exists {
+                        prop_assert!(matches!(real, Err(FsError::NotFound(_))));
+                    } else if !dst_dir {
+                        prop_assert!(matches!(real, Err(FsError::NotFound(_))));
+                    } else if dst_exists {
+                        prop_assert!(matches!(real, Err(FsError::Exists(_))));
+                    } else {
+                        prop_assert!(real.is_ok(), "rename failed: {:?}", real.err());
+                        let contents = model.files.remove(&(d, f)).expect("src exists");
+                        model.files.insert((d2, f2), contents);
+                    }
+                }
+                Op::Readdir { d } => {
+                    let real = fs.readdir(client, &dir_path(d));
+                    if model.dirs.contains(&d) {
+                        let (entries, _) = real.expect("readdir of existing dir");
+                        let mut got: Vec<String> =
+                            entries.into_iter().map(|e| e.name).collect();
+                        got.sort();
+                        let mut want: Vec<String> = model
+                            .files
+                            .keys()
+                            .filter(|(dd, _)| *dd == d)
+                            .map(|(_, ff)| format!("f{ff}"))
+                            .collect();
+                        want.sort();
+                        prop_assert_eq!(got, want);
+                    } else {
+                        prop_assert!(matches!(real, Err(FsError::NotFound(_))));
+                    }
+                }
+            }
+        }
+        // Final sweep: every surviving file reads back exactly.
+        for ((d, f), want) in &model.files {
+            let (got, _) = fs.read_file(0, &file_path(*d, *f)).expect("final read");
+            prop_assert_eq!(&got, want);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Failure analysis and rebuild planning.
+//!
+//! Pure planning: given a layout, a fault set and the high-water mark of
+//! written logical blocks, compute what must be read and written to restore
+//! full redundancy onto replacement disks. The `cdd` crate executes these
+//! plans against the data plane and the timing model.
+
+use crate::layout::{Layout, ReadSource};
+use crate::types::{BlockAddr, FaultSet};
+
+/// One step of a rebuild: reconstruct the contents of `target` (a block on
+/// a replaced disk) from `source`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebuildStep {
+    /// The physical block being restored.
+    pub target: BlockAddr,
+    /// Where its bytes come from.
+    pub source: RebuildSource,
+}
+
+/// Where a rebuild step gets its data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RebuildSource {
+    /// Copy a surviving replica (the logical block to re-read via the
+    /// layout's degraded path).
+    Copy(u64),
+    /// XOR of the surviving members of a RAID-5 stripe: `(logical,
+    /// physical)` sibling data blocks plus the parity block if the lost
+    /// block was data, or just the siblings if the lost block was parity.
+    Xor {
+        /// Surviving `(logical, physical)` data members of the stripe.
+        siblings: Vec<(u64, BlockAddr)>,
+        /// Parity block to fold in (None when rebuilding the parity itself).
+        parity: Option<BlockAddr>,
+    },
+}
+
+/// Plan the restoration of every block that lived on `disk` (now replaced
+/// with a blank spare), considering only logical blocks below `used`.
+///
+/// Covers both roles a disk plays: primary data blocks and mirror images /
+/// parity blocks hosted for other disks' data.
+///
+/// Returns `Err(lost)` with the lost logical blocks if some data is
+/// unrecoverable under the remaining fault set.
+pub fn plan_rebuild(
+    layout: &dyn Layout,
+    disk: usize,
+    remaining_faults: &FaultSet,
+    used: u64,
+) -> Result<Vec<RebuildStep>, Vec<u64>> {
+    let mut steps = Vec::new();
+    let mut lost = Vec::new();
+    let used = used.min(layout.capacity_blocks());
+    for lb in 0..used {
+        let data = layout.locate_data(lb);
+        // Restore the primary copy if it lived on the replaced disk.
+        if data.disk == disk {
+            match layout.read_source(lb, &with(remaining_faults, disk)) {
+                ReadSource::Primary(_) => unreachable!("primary is on the dead disk"),
+                ReadSource::Image(_) => {
+                    steps.push(RebuildStep { target: data, source: RebuildSource::Copy(lb) })
+                }
+                ReadSource::Reconstruct { siblings, parity } => steps.push(RebuildStep {
+                    target: data,
+                    source: RebuildSource::Xor { siblings, parity: Some(parity) },
+                }),
+                ReadSource::Lost => lost.push(lb),
+            }
+        }
+        // Restore any image of this block hosted on the replaced disk.
+        for img in layout.locate_images(lb) {
+            if img.disk == disk {
+                if remaining_faults.contains(data.disk) {
+                    lost.push(lb);
+                } else {
+                    steps.push(RebuildStep { target: img, source: RebuildSource::Copy(lb) });
+                }
+            }
+        }
+        // Restore a parity block hosted on the replaced disk (once per
+        // stripe: only when `lb` is the stripe's first member).
+        if let Some(p) = layout.locate_parity(lb) {
+            let (s, pos) = layout.stripe_of(lb);
+            if p.disk == disk && pos == 0 {
+                let mut siblings = Vec::new();
+                let mut ok = true;
+                for member in layout.stripe_blocks(s) {
+                    if member >= used {
+                        // Unwritten members read as zero; they still XOR in.
+                    }
+                    let a = layout.locate_data(member);
+                    if remaining_faults.contains(a.disk) {
+                        ok = false;
+                        break;
+                    }
+                    siblings.push((member, a));
+                }
+                if ok {
+                    steps.push(RebuildStep {
+                        target: p,
+                        source: RebuildSource::Xor { siblings, parity: None },
+                    });
+                } else {
+                    lost.push(lb);
+                }
+            }
+        }
+    }
+    if lost.is_empty() {
+        Ok(steps)
+    } else {
+        lost.sort_unstable();
+        lost.dedup();
+        Err(lost)
+    }
+}
+
+fn with(f: &FaultSet, extra: usize) -> FaultSet {
+    let mut g = f.clone();
+    g.insert(extra);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raid10::Raid10;
+    use crate::raid5::Raid5;
+    use crate::raidx::RaidX;
+
+    #[test]
+    fn raidx_rebuild_covers_data_and_images() {
+        let l = RaidX::new(4, 1, 240);
+        let used = 48;
+        let steps = plan_rebuild(&l, 0, &FaultSet::none(), used).unwrap();
+        // Disk 0 held primary data for lbs with data disk 0 and images of
+        // some groups; every such block must be restored.
+        let mut targets: Vec<BlockAddr> = steps.iter().map(|s| s.target).collect();
+        targets.sort();
+        targets.dedup();
+        assert_eq!(targets.len(), steps.len(), "duplicate targets");
+        let expected: usize = (0..used)
+            .filter(|&lb| l.locate_data(lb).disk == 0)
+            .count()
+            + (0..used).filter(|&lb| l.image_addr(lb).disk == 0).count();
+        assert_eq!(steps.len(), expected);
+        for s in &steps {
+            assert_eq!(s.target.disk, 0);
+            assert!(matches!(s.source, RebuildSource::Copy(_)));
+        }
+    }
+
+    #[test]
+    fn raid5_rebuild_uses_xor() {
+        let l = Raid5::new(4, 100);
+        let steps = plan_rebuild(&l, 1, &FaultSet::none(), 30).unwrap();
+        assert!(!steps.is_empty());
+        assert!(steps.iter().all(|s| matches!(s.source, RebuildSource::Xor { .. })));
+        // Data blocks restore with parity in the XOR set; parity blocks
+        // without.
+        assert!(steps.iter().any(|s| matches!(&s.source, RebuildSource::Xor { parity: Some(_), .. })));
+        assert!(steps.iter().any(|s| matches!(&s.source, RebuildSource::Xor { parity: None, .. })));
+    }
+
+    #[test]
+    fn raid10_rebuild_copies_mirror() {
+        let l = Raid10::new(4, 100);
+        let steps = plan_rebuild(&l, 0, &FaultSet::none(), 20).unwrap();
+        assert!(steps.iter().all(|s| matches!(s.source, RebuildSource::Copy(_))));
+    }
+
+    #[test]
+    fn unrecoverable_when_partner_also_dead() {
+        let l = RaidX::new(4, 1, 240);
+        // Disk 0's data has images on various disks; failing all other
+        // disks in the row guarantees loss.
+        let res = plan_rebuild(&l, 0, &FaultSet::of(&[1, 2, 3]), 48);
+        let lost = res.unwrap_err();
+        assert!(!lost.is_empty());
+    }
+
+    #[test]
+    fn rebuild_respects_high_water_mark() {
+        let l = RaidX::new(4, 1, 240);
+        let few = plan_rebuild(&l, 0, &FaultSet::none(), 8).unwrap();
+        let many = plan_rebuild(&l, 0, &FaultSet::none(), 80).unwrap();
+        assert!(many.len() > few.len());
+    }
+}

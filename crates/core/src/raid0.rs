@@ -1,0 +1,101 @@
+//! RAID-0: pure striping, no redundancy.
+//!
+//! The baseline the paper calls "full-stripe bandwidth, similar to what a
+//! RAID-0 can provide" — RAID-x matches its foreground write bandwidth
+//! while adding mirroring.
+
+use crate::layout::{Layout, ReadSource, WriteScheme};
+use crate::types::{BlockAddr, FaultSet};
+
+/// Block-striped array over `ndisks` disks.
+#[derive(Debug, Clone)]
+pub struct Raid0 {
+    ndisks: usize,
+    blocks_per_disk: u64,
+}
+
+impl Raid0 {
+    /// A RAID-0 array. Requires at least one disk.
+    pub fn new(ndisks: usize, blocks_per_disk: u64) -> Self {
+        assert!(ndisks >= 1, "RAID-0 needs at least one disk");
+        Raid0 { ndisks, blocks_per_disk }
+    }
+}
+
+impl Layout for Raid0 {
+    fn name(&self) -> &'static str {
+        "RAID-0"
+    }
+
+    fn ndisks(&self) -> usize {
+        self.ndisks
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.ndisks as u64 * self.blocks_per_disk
+    }
+
+    fn stripe_width(&self) -> usize {
+        self.ndisks
+    }
+
+    fn write_scheme(&self) -> WriteScheme {
+        WriteScheme::None
+    }
+
+    fn locate_data(&self, lb: u64) -> BlockAddr {
+        debug_assert!(lb < self.capacity_blocks());
+        BlockAddr::new((lb % self.ndisks as u64) as usize, lb / self.ndisks as u64)
+    }
+
+    fn locate_images(&self, _lb: u64) -> Vec<BlockAddr> {
+        Vec::new()
+    }
+
+    fn read_source(&self, lb: u64, failed: &FaultSet) -> ReadSource {
+        let d = self.locate_data(lb);
+        if failed.contains(d.disk) {
+            ReadSource::Lost
+        } else {
+            ReadSource::Primary(d)
+        }
+    }
+
+    fn tolerates(&self, failed: &FaultSet) -> bool {
+        failed.is_empty()
+    }
+
+    fn max_fault_coverage(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::check_layout_invariants;
+
+    #[test]
+    fn round_robin_placement() {
+        let l = Raid0::new(4, 100);
+        assert_eq!(l.locate_data(0), BlockAddr::new(0, 0));
+        assert_eq!(l.locate_data(3), BlockAddr::new(3, 0));
+        assert_eq!(l.locate_data(4), BlockAddr::new(0, 1));
+        assert_eq!(l.capacity_blocks(), 400);
+        assert_eq!(l.stripe_of(5), (1, 1));
+    }
+
+    #[test]
+    fn invariants_hold() {
+        check_layout_invariants(&Raid0::new(7, 50), 50, 350);
+    }
+
+    #[test]
+    fn any_failure_loses_data() {
+        let l = Raid0::new(4, 100);
+        assert!(l.tolerates(&FaultSet::none()));
+        assert!(!l.tolerates(&FaultSet::of(&[2])));
+        assert_eq!(l.read_source(2, &FaultSet::of(&[2])), ReadSource::Lost);
+        assert!(matches!(l.read_source(1, &FaultSet::of(&[2])), ReadSource::Primary(_)));
+    }
+}

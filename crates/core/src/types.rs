@@ -1,0 +1,154 @@
+//! Shared address and fault-set types.
+
+use std::fmt;
+
+/// A physical block location inside the single I/O space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockAddr {
+    /// Global disk number (disk `g` is attached to node `g mod nodes`).
+    pub disk: usize,
+    /// Block offset on that disk.
+    pub block: u64,
+}
+
+impl BlockAddr {
+    /// Convenience constructor.
+    pub fn new(disk: usize, block: u64) -> Self {
+        BlockAddr { disk, block }
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}:{}", self.disk, self.block)
+    }
+}
+
+/// A set of failed disks, as a bitset (clusters here are ≤ a few hundred
+/// disks, so a `Vec<u64>` bitmap is compact and branch-free to query).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSet {
+    bits: Vec<u64>,
+    count: usize,
+}
+
+impl FaultSet {
+    /// No failures.
+    pub fn none() -> Self {
+        FaultSet::default()
+    }
+
+    /// A set containing the given disks.
+    pub fn of(disks: &[usize]) -> Self {
+        let mut s = FaultSet::none();
+        for &d in disks {
+            s.insert(d);
+        }
+        s
+    }
+
+    /// Mark `disk` failed. Returns true if it was newly inserted.
+    pub fn insert(&mut self, disk: usize) -> bool {
+        let (w, b) = (disk / 64, disk % 64);
+        if w >= self.bits.len() {
+            self.bits.resize(w + 1, 0);
+        }
+        let newly = self.bits[w] & (1 << b) == 0;
+        self.bits[w] |= 1 << b;
+        if newly {
+            self.count += 1;
+        }
+        newly
+    }
+
+    /// Mark `disk` healthy again. Returns true if it was present.
+    pub fn remove(&mut self, disk: usize) -> bool {
+        let (w, b) = (disk / 64, disk % 64);
+        if w >= self.bits.len() {
+            return false;
+        }
+        let present = self.bits[w] & (1 << b) != 0;
+        self.bits[w] &= !(1 << b);
+        if present {
+            self.count -= 1;
+        }
+        present
+    }
+
+    /// Is `disk` failed?
+    #[inline]
+    pub fn contains(&self, disk: usize) -> bool {
+        let (w, b) = (disk / 64, disk % 64);
+        self.bits.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Number of failed disks.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True if no disks are failed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterate over the failed disk indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter().enumerate().flat_map(|(w, &word)| {
+            (0..64).filter_map(move |b| (word & (1 << b) != 0).then_some(w * 64 + b))
+        })
+    }
+}
+
+impl FromIterator<usize> for FaultSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let mut s = FaultSet::none();
+        for d in iter {
+            s.insert(d);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = FaultSet::none();
+        assert!(s.is_empty());
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(130));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(3) && s.contains(130));
+        assert!(!s.contains(4));
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s = FaultSet::of(&[5, 1, 200, 64]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 5, 64, 200]);
+    }
+
+    #[test]
+    fn contains_beyond_storage_is_false() {
+        let s = FaultSet::of(&[1]);
+        assert!(!s.contains(1_000_000));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: FaultSet = [2usize, 2, 9].into_iter().collect();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn addr_display() {
+        assert_eq!(BlockAddr::new(3, 17).to_string(), "D3:17");
+    }
+}

@@ -1,0 +1,92 @@
+//! Service demands: what a plan stage asks of a resource.
+//!
+//! A [`Demand`] is interpreted by the resource's
+//! [`ServiceModel`](crate::ServiceModel); the same demand costs different
+//! amounts on different hardware (e.g. a `DiskRead` is cheap if sequential,
+//! expensive after a long seek).
+
+use crate::time::SimDuration;
+
+/// A unit of work requested from a simulated resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Demand {
+    /// Occupy the resource for a fixed span (generic CPU work, firmware
+    /// overhead, etc.).
+    Busy(SimDuration),
+    /// Read `bytes` from a disk starting at byte `offset` from the start of
+    /// the platter address space.
+    DiskRead {
+        /// Byte offset on the platter.
+        offset: u64,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// Write `bytes` to a disk starting at byte `offset`.
+    DiskWrite {
+        /// Byte offset on the platter.
+        offset: u64,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// Move `bytes` across a network port (NIC tx/rx, switch port).
+    NetXfer {
+        /// Wire bytes (payload plus headers).
+        bytes: u64,
+    },
+    /// Move `bytes` across an I/O bus (e.g. a shared SCSI bus).
+    BusXfer {
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// CPU protocol work for a message of `bytes` (syscall + TCP/IP stack +
+    /// copies). Distinct from `Busy` so models can charge a per-byte cost.
+    CpuMsg {
+        /// Message payload size in bytes.
+        bytes: u64,
+    },
+}
+
+impl Demand {
+    /// The payload size of this demand in bytes (zero for pure busy time).
+    pub fn bytes(&self) -> u64 {
+        match *self {
+            Demand::Busy(_) => 0,
+            Demand::DiskRead { bytes, .. }
+            | Demand::DiskWrite { bytes, .. }
+            | Demand::NetXfer { bytes }
+            | Demand::BusXfer { bytes }
+            | Demand::CpuMsg { bytes } => bytes,
+        }
+    }
+
+    /// True if this demand writes to stable storage.
+    pub fn is_disk_write(&self) -> bool {
+        matches!(self, Demand::DiskWrite { .. })
+    }
+
+    /// True if this demand reads from stable storage.
+    pub fn is_disk_read(&self) -> bool {
+        matches!(self, Demand::DiskRead { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_accessor() {
+        assert_eq!(Demand::Busy(SimDuration::from_micros(3)).bytes(), 0);
+        assert_eq!(Demand::DiskRead { offset: 0, bytes: 512 }.bytes(), 512);
+        assert_eq!(Demand::NetXfer { bytes: 1500 }.bytes(), 1500);
+    }
+
+    #[test]
+    fn direction_predicates() {
+        let w = Demand::DiskWrite { offset: 4096, bytes: 4096 };
+        assert!(w.is_disk_write() && !w.is_disk_read());
+        let r = Demand::DiskRead { offset: 0, bytes: 4096 };
+        assert!(r.is_disk_read() && !r.is_disk_write());
+        assert!(!Demand::NetXfer { bytes: 1 }.is_disk_read());
+    }
+}

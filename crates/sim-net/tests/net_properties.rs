@@ -1,0 +1,120 @@
+//! Additional interconnect-model tests: preset sanity, segmentation
+//! boundaries and overhead accounting.
+
+use sim_core::{Engine, FixedRate};
+use sim_net::{transfer_plan, NetPath, NetSpec};
+
+fn two_nodes(spec: &NetSpec) -> (Engine, NetPath) {
+    let mut e = Engine::new();
+    let cpu_model = || FixedRate { per_op: spec.sw_per_message, bytes_per_sec: spec.sw_copy_rate };
+    let nic_model = || FixedRate::rate(spec.link_rate);
+    let cpu0 = e.add_resource("cpu0", Box::new(cpu_model()));
+    let tx0 = e.add_resource("tx0", Box::new(nic_model()));
+    let rx1 = e.add_resource("rx1", Box::new(nic_model()));
+    let cpu1 = e.add_resource("cpu1", Box::new(cpu_model()));
+    (e, NetPath::remote(cpu0, tx0, rx1, cpu1))
+}
+
+fn goodput(spec: &NetSpec, bytes: u64) -> f64 {
+    let (mut e, path) = two_nodes(spec);
+    e.spawn_job("x", transfer_plan(spec, &path, bytes));
+    let rep = e.run().unwrap();
+    bytes as f64 / rep.end.as_secs_f64()
+}
+
+#[test]
+fn gigabit_is_roughly_ten_times_fast_ethernet() {
+    let fe = goodput(&NetSpec::fast_ethernet(), 8 << 20);
+    let ge = goodput(&NetSpec::gigabit(), 8 << 20);
+    let ratio = ge / fe;
+    assert!((8.0..12.0).contains(&ratio), "ratio {ratio:.2}");
+}
+
+#[test]
+fn goodput_never_exceeds_link_rate() {
+    for spec in [NetSpec::fast_ethernet(), NetSpec::gigabit()] {
+        for bytes in [1u64, 1500, 32 << 10, 1 << 20, 16 << 20] {
+            let g = goodput(&spec, bytes);
+            assert!(
+                g < spec.link_rate as f64,
+                "goodput {g:.0} exceeds link {} for {bytes} bytes",
+                spec.link_rate
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_segment_boundary_uses_one_segment() {
+    let spec = NetSpec::fast_ethernet();
+    assert_eq!(spec.segments(spec.segment_bytes), 1);
+    assert_eq!(spec.segments(spec.segment_bytes + 1), 2);
+    // Timing: one-segment payload beats a two-segment payload by less
+    // than a full per-message overhead (pipelining hides most of it).
+    let one = goodput(&spec, spec.segment_bytes);
+    let two = goodput(&spec, spec.segment_bytes + 1);
+    assert!(one > 0.0 && two > 0.0);
+}
+
+#[test]
+fn many_small_messages_cost_more_than_one_bulk() {
+    let spec = NetSpec::fast_ethernet();
+    let total = 1u64 << 20;
+    // One 1 MB transfer.
+    let (mut e, path) = two_nodes(&spec);
+    e.spawn_job("bulk", transfer_plan(&spec, &path, total));
+    let bulk = e.run().unwrap().end.as_secs_f64();
+    // 256 x 4 KB transfers, sequential.
+    let (mut e, path) = two_nodes(&spec);
+    e.spawn_job(
+        "small",
+        sim_core::plan::seq((0..256).map(|_| transfer_plan(&spec, &path, total / 256)).collect()),
+    );
+    let small = e.run().unwrap().end.as_secs_f64();
+    assert!(
+        small > 1.5 * bulk,
+        "per-message overhead should bite: small {small:.4}s vs bulk {bulk:.4}s"
+    );
+}
+
+#[test]
+fn base_latency_independent_of_link_for_tiny_messages() {
+    let fe = NetSpec::fast_ethernet();
+    let ge = NetSpec::gigabit();
+    // Software costs dominate tiny messages, so gigabit helps little.
+    let (mut e1, p1) = two_nodes(&fe);
+    e1.spawn_job("x", transfer_plan(&fe, &p1, 64));
+    let t_fe = e1.run().unwrap().end.as_secs_f64();
+    let (mut e2, p2) = two_nodes(&ge);
+    e2.spawn_job("x", transfer_plan(&ge, &p2, 64));
+    let t_ge = e2.run().unwrap().end.as_secs_f64();
+    assert!(t_ge < t_fe);
+    assert!(t_fe / t_ge < 8.0, "tiny-message latency should not scale with bandwidth");
+}
+
+#[test]
+fn duplex_ports_overlap_opposite_directions() {
+    // a->b and b->a transfers at once: full duplex should take about as
+    // long as one direction alone, not twice.
+    let spec = NetSpec::fast_ethernet();
+    let mut e = Engine::new();
+    let cpu_model = || FixedRate { per_op: spec.sw_per_message, bytes_per_sec: spec.sw_copy_rate };
+    let nic_model = || FixedRate::rate(spec.link_rate);
+    let cpu_a = e.add_resource("cpu_a", Box::new(cpu_model()));
+    let tx_a = e.add_resource("tx_a", Box::new(nic_model()));
+    let rx_a = e.add_resource("rx_a", Box::new(nic_model()));
+    let cpu_b = e.add_resource("cpu_b", Box::new(cpu_model()));
+    let tx_b = e.add_resource("tx_b", Box::new(nic_model()));
+    let rx_b = e.add_resource("rx_b", Box::new(nic_model()));
+    let ab = NetPath::remote(cpu_a, tx_a, rx_b, cpu_b);
+    let ba = NetPath::remote(cpu_b, tx_b, rx_a, cpu_a);
+    let bytes = 4u64 << 20;
+    e.spawn_job("ab", transfer_plan(&spec, &ab, bytes));
+    e.spawn_job("ba", transfer_plan(&spec, &ba, bytes));
+    let both = e.run().unwrap().end.as_secs_f64();
+    let single = bytes as f64 / goodput(&spec, bytes);
+    assert!(
+        both < 1.4 * single,
+        "duplex run {both:.3}s vs single-direction {single:.3}s"
+    );
+}

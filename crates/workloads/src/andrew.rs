@@ -1,0 +1,219 @@
+//! The Andrew benchmark (Figure 6): five phases of file-system activity
+//! from the classic CMU suite, run by many concurrent clients over the
+//! cluster file system.
+//!
+//! Each client works in a private subtree (as in the paper — elapsed time
+//! is driven by how the *underlying storage architecture* handles the
+//! traffic mix, not by lock contention):
+//!
+//! 1. **MakeDir** — create the directory tree.
+//! 2. **Copy** — copy the source files in (creates + small writes).
+//! 3. **ScanDir** — recursive directory scan with stats.
+//! 4. **ReadAll** — read every file.
+//! 5. **Make** — compile: read sources, burn CPU, write objects.
+
+use cdd::BlockStore;
+use cfs::{Fs, FsError};
+use sim_core::plan::{barrier, seq, use_res};
+use sim_core::rng::SplitMix64;
+use sim_core::{BarrierId, Demand, Engine, Plan, SimDuration};
+
+/// Phase names, in order.
+pub const PHASES: [&str; 5] = ["MakeDir", "Copy", "ScanDir", "ReadAll", "Make"];
+
+/// Parameters of the synthetic Andrew run.
+#[derive(Debug, Clone)]
+pub struct AndrewConfig {
+    /// Concurrent clients; client `i` runs on node `i mod nodes` (the
+    /// paper drives up to 32 clients on 16 nodes).
+    pub clients: usize,
+    /// Directories per client subtree.
+    pub dirs: usize,
+    /// Source files per directory.
+    pub files_per_dir: usize,
+    /// Mean source-file size in bytes (sizes are drawn deterministically
+    /// around this mean; Andrew's sources are small files).
+    pub mean_file_bytes: usize,
+    /// CPU time to "compile" one source file.
+    pub compile_cpu: SimDuration,
+    /// Seed for the size distribution.
+    pub seed: u64,
+}
+
+impl Default for AndrewConfig {
+    fn default() -> Self {
+        AndrewConfig {
+            clients: 1,
+            dirs: 4,
+            files_per_dir: 5,
+            mean_file_bytes: 16 << 10,
+            compile_cpu: SimDuration::from_millis(40),
+            seed: 0xA11D_4EA7,
+        }
+    }
+}
+
+/// Per-phase elapsed times in seconds.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct AndrewResult {
+    /// Elapsed wall-clock (simulated) per phase.
+    pub phase_secs: [f64; 5],
+}
+
+impl AndrewResult {
+    /// Total elapsed over all five phases.
+    pub fn total_secs(&self) -> f64 {
+        self.phase_secs.iter().sum()
+    }
+}
+
+fn file_size(rng: &mut SplitMix64, mean: usize) -> usize {
+    // Deterministic sizes in [mean/4, 2*mean): small-file-heavy like Andrew.
+    let lo = (mean / 4).max(64);
+    let hi = 2 * mean;
+    lo + rng.next_below((hi - lo) as u64) as usize
+}
+
+/// Run the benchmark over a mounted file system. The engine must be the
+/// one the store was built in.
+pub fn run_andrew<S: BlockStore>(
+    engine: &mut Engine,
+    fs: &mut Fs<S>,
+    cfg: &AndrewConfig,
+) -> Result<AndrewResult, FsError> {
+    let nodes = fs.store().nodes();
+    let mut phase_secs = [0.0f64; 5];
+    let mut rng = SplitMix64::new(cfg.seed);
+
+    // Pre-generate the per-client file manifests so Copy/Read/Make agree.
+    let manifests: Vec<Vec<(String, usize)>> = (0..cfg.clients)
+        .map(|c| {
+            let mut files = Vec::new();
+            for d in 0..cfg.dirs {
+                for f in 0..cfg.files_per_dir {
+                    files.push((
+                        format!("/c{c}/d{d}/src{f}.c"),
+                        file_size(&mut rng, cfg.mean_file_bytes),
+                    ));
+                }
+            }
+            files
+        })
+        .collect();
+
+    for (phase_idx, phase) in PHASES.iter().enumerate() {
+        let start = engine.now();
+        let bid = BarrierId(0xAD00 + phase_idx as u32);
+        engine.register_barrier(bid, cfg.clients);
+        for (c, manifest) in manifests.iter().enumerate() {
+            // Start at node 1 so a lone client is remote from an NFS
+            // server at node 0 (matching the real cluster setup).
+            let node = (c + 1) % nodes;
+            let mut ops: Vec<Plan> = vec![barrier(bid)];
+            match phase_idx {
+                0 => {
+                    ops.push(fs.mkdir(node, &format!("/c{c}"))?);
+                    for d in 0..cfg.dirs {
+                        ops.push(fs.mkdir(node, &format!("/c{c}/d{d}"))?);
+                    }
+                }
+                1 => {
+                    for (path, size) in manifest {
+                        let data: Vec<u8> =
+                            (0..*size).map(|i| ((i * 37 + c * 11) % 256) as u8).collect();
+                        ops.push(fs.write_file(node, path, &data)?);
+                    }
+                }
+                2 => {
+                    let (_, p) = fs.readdir(node, &format!("/c{c}"))?;
+                    ops.push(p);
+                    for d in 0..cfg.dirs {
+                        let (entries, p) = fs.readdir(node, &format!("/c{c}/d{d}"))?;
+                        ops.push(p);
+                        for e in entries {
+                            let (_, sp) = fs.stat(node, &format!("/c{c}/d{d}/{}", e.name))?;
+                            ops.push(sp);
+                        }
+                    }
+                }
+                3 => {
+                    for (path, size) in manifest {
+                        let (data, p) = fs.read_file(node, path)?;
+                        assert_eq!(data.len(), *size, "Andrew read lost bytes");
+                        ops.push(p);
+                    }
+                }
+                4 => {
+                    for (path, _) in manifest {
+                        let (_, p) = fs.read_file(node, path)?;
+                        ops.push(p);
+                        ops.push(use_res(
+                            fs.store().cpu_of(node),
+                            Demand::Busy(cfg.compile_cpu),
+                        ));
+                    }
+                    // Link step: one output object per directory.
+                    for d in 0..cfg.dirs {
+                        let obj = vec![0xEEu8; cfg.mean_file_bytes];
+                        ops.push(fs.write_file(node, &format!("/c{c}/d{d}/prog.o"), &obj)?);
+                    }
+                }
+                _ => unreachable!(),
+            }
+            engine.spawn_job(format!("andrew/c{c}/{phase}"), seq(ops));
+        }
+        let report = engine.run().expect("andrew deadlocked");
+        phase_secs[phase_idx] = report.foreground_end.since(start).as_secs_f64();
+    }
+    Ok(AndrewResult { phase_secs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdd::{CddConfig, IoSystem};
+    use cluster::ClusterConfig;
+    use raidx_core::Arch;
+
+    fn run(arch: Arch, clients: usize) -> AndrewResult {
+        let mut engine = Engine::new();
+        let mut cc = ClusterConfig::trojans();
+        cc.nodes = 8;
+        let store = IoSystem::new(&mut engine, cc, arch, CddConfig::default());
+        let (mut fs, _) = Fs::format(store, 2048, 0).unwrap();
+        let cfg = AndrewConfig { clients, dirs: 2, files_per_dir: 3, ..Default::default() };
+        run_andrew(&mut engine, &mut fs, &cfg).unwrap()
+    }
+
+    #[test]
+    fn all_phases_take_time() {
+        let r = run(Arch::RaidX, 2);
+        for (i, s) in r.phase_secs.iter().enumerate() {
+            assert!(*s > 0.0, "phase {} took no time", PHASES[i]);
+        }
+        assert!(r.total_secs() > 0.0);
+    }
+
+    #[test]
+    fn make_phase_dominated_by_cpu() {
+        let r = run(Arch::RaidX, 1);
+        // 6 files x 40 ms compile = 240 ms of pure CPU: Make must be the
+        // longest phase for one client.
+        let make = r.phase_secs[4];
+        assert!(make >= 0.24, "make={make}");
+    }
+
+    #[test]
+    fn elapsed_grows_with_clients() {
+        let small = run(Arch::RaidX, 1);
+        let large = run(Arch::RaidX, 8);
+        assert!(large.total_secs() > small.total_secs());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(Arch::Raid5, 3);
+        let b = run(Arch::Raid5, 3);
+        assert_eq!(a.phase_secs, b.phase_secs);
+    }
+}
