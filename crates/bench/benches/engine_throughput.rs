@@ -1,7 +1,8 @@
 //! Micro-benchmarks of the discrete-event engine: event throughput for
 //! the plan shapes the RAID engines generate.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use bench::microbench::{Criterion, Throughput};
+use bench::{criterion_group, criterion_main};
 use sim_core::plan::{barrier, par, seq, use_res};
 use sim_core::{BarrierId, Demand, Engine, FixedRate, SimDuration};
 
@@ -18,7 +19,7 @@ fn bench_seq_chain(c: &mut Criterion) {
             let mut e = Engine::new();
             let r = e.add_resource("r", Box::new(FixedRate::per_op(SimDuration::ZERO)));
             e.spawn_job("chain", seq((0..n).map(|_| use_res(r, busy(1))).collect()));
-            e.run().unwrap().end
+            e.run().expect("bench setup failed").end
         })
     });
     g.finish();
@@ -33,15 +34,22 @@ fn bench_contended_fanout(c: &mut Criterion) {
         b.iter(|| {
             let mut e = Engine::new();
             let disks: Vec<_> = (0..16)
-                .map(|i| e.add_resource(format!("d{i}"), Box::new(FixedRate::per_op(SimDuration::from_micros(3)))))
+                .map(|i| {
+                    e.add_resource(
+                        format!("d{i}"),
+                        Box::new(FixedRate::per_op(SimDuration::from_micros(3))),
+                    )
+                })
                 .collect();
             for j in 0..jobs {
                 e.spawn_job(
                     "j",
-                    par((0..per).map(|i| use_res(disks[((j + i) % 16) as usize], busy(2))).collect()),
+                    par((0..per)
+                        .map(|i| use_res(disks[((j + i) % 16) as usize], busy(2)))
+                        .collect()),
                 );
             }
-            e.run().unwrap().end
+            e.run().expect("bench setup failed").end
         })
     });
     g.finish();
@@ -64,7 +72,7 @@ fn bench_barrier_cycles(c: &mut Criterion) {
                     seq((0..cycles).flat_map(|_| [use_res(r, busy(1)), barrier(bid)]).collect()),
                 );
             }
-            e.run().unwrap().end
+            e.run().expect("bench setup failed").end
         })
     });
     g.finish();

@@ -2,9 +2,10 @@
 //! functional data movement for each write scheme, the lock table, and
 //! the parity XOR kernel.
 
+use bench::microbench::{black_box, Criterion, Throughput};
+use bench::{criterion_group, criterion_main};
 use cdd::{CddConfig, IoSystem, LockGroupTable};
 use cluster::{xor_into, ClusterConfig};
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use raidx_core::Arch;
 use sim_core::Engine;
 
@@ -25,7 +26,7 @@ fn bench_write_path(c: &mut Criterion) {
             let payload = vec![0xABu8; bytes as usize];
             let mut lb0 = 0u64;
             b.iter(|| {
-                let plan = s.write(0, lb0, &payload).unwrap();
+                let plan = s.write(0, lb0, &payload).expect("bench setup failed");
                 lb0 = (lb0 + 64) % 65536;
                 black_box(plan.leaf_count())
             })
@@ -43,9 +44,9 @@ fn bench_read_path(c: &mut Criterion) {
             let mut e = Engine::new();
             let mut s = IoSystem::new(&mut e, small_cluster(), arch, CddConfig::default());
             let payload = vec![0xCDu8; bytes as usize];
-            s.write(0, 0, &payload).unwrap();
+            s.write(0, 0, &payload).expect("bench setup failed");
             b.iter(|| {
-                let (data, plan) = s.read(1, 0, 64).unwrap();
+                let (data, plan) = s.read(1, 0, 64).expect("bench setup failed");
                 black_box((data.len(), plan.leaf_count()))
             })
         });
@@ -57,9 +58,11 @@ fn bench_lock_table(c: &mut Criterion) {
     c.bench_function("lock_table_acquire_release", |b| {
         let mut t = LockGroupTable::new();
         // Pre-populate with held ranges to make the scan realistic.
-        let held: Vec<_> = (0..64usize).map(|i| t.acquire(i % 8, i as u64 * 1000, 64).unwrap()).collect();
+        let held: Vec<_> = (0..64usize)
+            .map(|i| t.acquire(i % 8, i as u64 * 1000, 64).expect("bench setup failed"))
+            .collect();
         b.iter(|| {
-            let h = t.acquire(9, 1_000_000, 64).unwrap();
+            let h = t.acquire(9, 1_000_000, 64).expect("bench setup failed");
             t.release(h);
         });
         drop(held);

@@ -1,7 +1,8 @@
 //! Micro-benchmarks of the layout address arithmetic — the per-request
 //! hot path of the CDD client module.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use bench::microbench::{black_box, Criterion};
+use bench::{criterion_group, criterion_main};
 use raidx_core::{ChainedDecluster, FaultSet, Layout, Raid10, Raid5, RaidX};
 
 fn bench_locate(c: &mut Criterion) {
@@ -90,5 +91,11 @@ fn bench_merge_runs(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_locate, bench_image_addr, bench_read_source_degraded, bench_merge_runs);
+criterion_group!(
+    benches,
+    bench_locate,
+    bench_image_addr,
+    bench_read_source_degraded,
+    bench_merge_runs
+);
 criterion_main!(benches);

@@ -4,11 +4,12 @@
 //! `fig5`, `table3`, `fig6`, `fig7`, `table2`, `fault_tolerance`,
 //! `ablations`, `all_experiments`).
 
+use bench::microbench::{black_box, Criterion};
+use bench::{criterion_group, criterion_main};
 use bench::{exp_fig5, exp_fig6, exp_table2, SystemKind};
 use cdd::{CddConfig, IoSystem};
 use checkpoint::{run_striped_checkpoint, CheckpointConfig};
 use cluster::ClusterConfig;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use raidx_core::Arch;
 use sim_core::Engine;
 use workloads::IoPattern;
@@ -22,11 +23,7 @@ fn bench_table2(c: &mut Criterion) {
 fn bench_fig5_point(c: &mut Criterion) {
     c.bench_function("fig5_point_raidx_large_write_8c", |b| {
         b.iter(|| {
-            let r = exp_fig5::run_point(
-                SystemKind::Raid(Arch::RaidX),
-                IoPattern::LargeWrite,
-                8,
-            );
+            let r = exp_fig5::run_point(SystemKind::Raid(Arch::RaidX), IoPattern::LargeWrite, 8);
             black_box(r.aggregate_mbs)
         })
     });
@@ -65,7 +62,8 @@ fn bench_fig7_point(c: &mut Criterion) {
                 rounds: 1,
                 ..Default::default()
             };
-            let r = run_striped_checkpoint(&mut engine, &mut store, &cfg).unwrap();
+            let r =
+                run_striped_checkpoint(&mut engine, &mut store, &cfg).expect("bench setup failed");
             black_box(r.round_secs[0])
         })
     });

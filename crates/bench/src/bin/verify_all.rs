@@ -1,0 +1,113 @@
+//! Run all four `raidx-verify` passes and exit non-zero on any finding.
+//!
+//! ```text
+//! cargo run -p bench --bin verify_all
+//! ```
+//!
+//! Passes: plan linting of every architecture's real I/O plans, lock-order
+//! analysis of a recorded lock trace, the layout conformance sweep, and
+//! the determinism audit (double-run fingerprints plus the source-level
+//! hazard scan).
+
+use cdd::{CddConfig, IoSystem};
+use cluster::ClusterConfig;
+use raidx_core::Arch;
+use raidx_verify::{analyze_lock_trace, audit_workload, conformance_sweep, lint_io_paths};
+use raidx_verify::{report::PassReport, source_scan};
+use sim_core::Engine;
+use std::path::Path;
+
+fn lock_order_pass() -> PassReport {
+    let mut report = PassReport::new("lock-order");
+    for arch in Arch::ALL {
+        let mut engine = Engine::new();
+        let mut cc = ClusterConfig::shape(4, 2);
+        cc.disk.capacity = 8 << 20;
+        let bs = cc.block_size as usize;
+        let mut sys = IoSystem::new(&mut engine, cc, arch, CddConfig::default());
+        sys.enable_lock_trace();
+        let name = sys.layout().name();
+        let stripe = sys.layout().stripe_width() as u64;
+        let buf = vec![0x77; bs];
+        let wide = vec![0x11; bs * stripe as usize];
+        for client in 0..4u64 {
+            for b in 0..6u64 {
+                sys.write(client as usize, client * 16 + b, &buf).expect("write");
+            }
+            sys.write(client as usize, client * 16 + 8, &wide).expect("stripe write");
+        }
+        let trace = sys.take_lock_trace();
+        let audit = analyze_lock_trace(&trace);
+        let detail = if audit.clean() {
+            format!("{} grants, {} order edges, no defects", audit.grants, audit.order_edges)
+        } else {
+            audit.defects.iter().map(ToString::to_string).collect::<Vec<_>>().join("; ")
+        };
+        report.push(format!("{name} lock trace"), audit.clean(), detail);
+    }
+    report
+}
+
+fn layout_pass() -> PassReport {
+    let mut report = PassReport::new("layout-conformance");
+    for row in conformance_sweep() {
+        let name = format!("{} {}x{}", row.arch, row.shape.0, row.shape.1);
+        let detail = if row.ok() {
+            format!("{} blocks conform", row.checked)
+        } else {
+            format!(
+                "{} violations, first: {}",
+                row.violations.len(),
+                row.violations.first().map(String::as_str).unwrap_or("")
+            )
+        };
+        report.push(name, row.ok(), detail);
+    }
+    report
+}
+
+fn determinism_pass() -> PassReport {
+    let mut report = PassReport::new("determinism");
+    for arch in Arch::ALL {
+        let audit = audit_workload(arch);
+        let name = format!("{arch:?} double run");
+        let detail = match &audit.divergence {
+            None => {
+                format!("fingerprint {:016x}, {} trace lines", audit.fingerprint_a, audit.lines)
+            }
+            Some((i, a, b)) => format!("diverged at line {i}: `{a}` vs `{b}`"),
+        };
+        report.push(name, audit.deterministic(), detail);
+    }
+    // Source-level hazard scan over every crate.
+    let crates_dir = Path::new(env!("CARGO_MANIFEST_DIR")).parent().expect("crates dir");
+    match source_scan::scan_dir(crates_dir) {
+        Ok(hazards) => {
+            let detail = if hazards.is_empty() {
+                "no wall clocks, OS entropy or unordered iteration in sim paths".to_string()
+            } else {
+                hazards.iter().map(ToString::to_string).collect::<Vec<_>>().join("; ")
+            };
+            report.push("source hazard scan", hazards.is_empty(), detail);
+        }
+        Err(e) => report.fail("source hazard scan", format!("scan failed: {e}")),
+    }
+    report
+}
+
+fn main() {
+    let passes = vec![lint_io_paths(), lock_order_pass(), layout_pass(), determinism_pass()];
+    let mut failures = 0;
+    for p in &passes {
+        print!("{}", p.render());
+        println!();
+        failures += p.failures();
+    }
+    let checks: usize = passes.iter().map(|p| p.checks.len()).sum();
+    if failures == 0 {
+        println!("verify_all: all {checks} checks passed across {} passes", passes.len());
+    } else {
+        println!("verify_all: {failures}/{checks} checks FAILED");
+        std::process::exit(1);
+    }
+}

@@ -21,7 +21,7 @@ fn run_with(cdd: CddConfig, pattern: IoPattern, clients: usize, cc: ClusterConfi
     let mut engine = Engine::new();
     let mut store = IoSystem::new(&mut engine, cc, Arch::RaidX, cdd);
     let cfg = ParallelIoConfig { clients, pattern, repeats: 3, ..Default::default() };
-    run_parallel_io(&mut engine, &mut store, &cfg).unwrap().aggregate_mbs
+    run_parallel_io(&mut engine, &mut store, &cfg).expect("experiment I/O failed").aggregate_mbs
 }
 
 /// Ablation 1: deferred vs. synchronous images.
@@ -61,7 +61,8 @@ pub fn lock_cost() -> String {
     let rows: Vec<Vec<String>> = [1usize, 4, 16]
         .into_iter()
         .map(|c| {
-            let on = run_with(CddConfig::default(), IoPattern::SmallWrite, c, ClusterConfig::trojans());
+            let on =
+                run_with(CddConfig::default(), IoPattern::SmallWrite, c, ClusterConfig::trojans());
             let off = run_with(
                 CddConfig { lock_broadcast: false, ..CddConfig::default() },
                 IoPattern::SmallWrite,
@@ -82,9 +83,8 @@ pub fn lock_cost() -> String {
 
 /// Ablation 3: n×k shape sweep with 12 disks.
 pub fn shape_sweep() -> String {
-    let mut out = String::from(
-        "\n### Ablation: n x k array shape (12 disks total), RAID-x, 2 MB writes\n\n",
-    );
+    let mut out =
+        String::from("\n### Ablation: n x k array shape (12 disks total), RAID-x, 2 MB writes\n\n");
     let headers = ["shape", "clients = nodes", "large write (MB/s)", "large read (MB/s)"];
     let rows: Vec<Vec<String>> = [(12usize, 1usize), (6, 2), (4, 3), (2, 6)]
         .into_iter()
@@ -113,10 +113,10 @@ pub fn raid5_anatomy() -> String {
     let mut s5 = IoSystem::new(&mut engine, cc.clone(), Arch::Raid5, CddConfig::default());
     let bs = s5.block_size() as usize;
     let one = vec![1u8; bs];
-    let plan5 = s5.write(0, 0, &one).unwrap();
+    let plan5 = s5.write(0, 0, &one).expect("experiment I/O failed");
     let mut engine_x = Engine::new();
     let mut sx = IoSystem::new(&mut engine_x, cc, Arch::RaidX, CddConfig::default());
-    let planx = sx.write(0, 0, &one).unwrap();
+    let planx = sx.write(0, 0, &one).expect("experiment I/O failed");
     let d5 = plan5.disk_bytes() / bs as u64;
     let dx = planx.disk_bytes() / bs as u64;
     format!(
@@ -150,7 +150,8 @@ pub fn disk_scheduling() -> String {
             let mut ops = Vec::new();
             for _ in 0..64 {
                 let lb = rng.next_below(cap);
-                let (_, plan) = cdd::BlockStore::read(&mut store, c, lb, 1).unwrap();
+                let (_, plan) =
+                    cdd::BlockStore::read(&mut store, c, lb, 1).expect("experiment I/O failed");
                 total_bytes += cdd::BlockStore::block_size(&store);
                 ops.push(plan);
             }
@@ -158,7 +159,7 @@ pub fn disk_scheduling() -> String {
             // system driving the array hard.
             engine.spawn_job(format!("c{c}"), sim_core::plan::par(ops));
         }
-        let rep = engine.run().unwrap();
+        let rep = engine.run().expect("experiment I/O failed");
         total_bytes as f64 / rep.foreground_end.as_secs_f64() / 1e6
     };
 
@@ -198,12 +199,12 @@ pub fn read_balancing() -> String {
             repeats: 3,
             ..Default::default()
         };
-        run_parallel_io(&mut engine, &mut store, &wl).unwrap().aggregate_mbs
+        run_parallel_io(&mut engine, &mut store, &wl).expect("experiment I/O failed").aggregate_mbs
     };
-    let mut out = String::from(
-        "\n### Ablation: replica read balancing (16 clients, 2 MB reads)\n\n",
-    );
-    let headers = ["Architecture", "primary only (MB/s)", "layout preference (MB/s)", "least loaded (MB/s)"];
+    let mut out =
+        String::from("\n### Ablation: replica read balancing (16 clients, 2 MB reads)\n\n");
+    let headers =
+        ["Architecture", "primary only (MB/s)", "layout preference (MB/s)", "least loaded (MB/s)"];
     let rows: Vec<Vec<String>> = [Arch::Raid10, Arch::Chained, Arch::RaidX]
         .into_iter()
         .map(|arch| {

@@ -44,7 +44,8 @@ fn seed_files(sys: &mut IoSystem, clients: usize) {
     let payload = vec![0xA5u8; (nblocks * bs) as usize];
     for c in 0..clients {
         for r in 0..2u64 {
-            sys.write((c + 1) % 16, c as u64 * region + r * nblocks, &payload).unwrap();
+            sys.write((c + 1) % 16, c as u64 * region + r * nblocks, &payload)
+                .expect("experiment I/O failed");
         }
     }
 }
@@ -93,8 +94,13 @@ pub fn render(points: &[DegradedPoint]) -> String {
     let mut out = String::from(
         "\n### Degraded-mode and rebuild-under-load bandwidth (16 clients, 2 MB reads)\n\n",
     );
-    let headers =
-        ["Architecture", "healthy (MB/s)", "degraded (MB/s)", "during rebuild (MB/s)", "degraded/healthy"];
+    let headers = [
+        "Architecture",
+        "healthy (MB/s)",
+        "degraded (MB/s)",
+        "during rebuild (MB/s)",
+        "degraded/healthy",
+    ];
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {

@@ -40,26 +40,26 @@ pub fn single_failure(arch: Arch) -> FaultPoint {
     let bs = s.block_size() as usize;
     let nblocks = 256u64;
     let data = dataset(nblocks, bs);
-    let wp = s.write(0, 0, &data).unwrap();
+    let wp = s.write(0, 0, &data).expect("experiment I/O failed");
     engine.spawn_job("seed", wp);
-    engine.run().unwrap();
+    engine.run().expect("experiment I/O failed");
 
     s.fail_disk(3);
     let t0 = engine.now();
-    let (got, rp) = s.read(1, 0, nblocks).unwrap();
+    let (got, rp) = s.read(1, 0, nblocks).expect("experiment I/O failed");
     let survived = got == data;
     engine.spawn_job("degraded-read", rp);
-    engine.run().unwrap();
+    engine.run().expect("experiment I/O failed");
     let degraded_read_secs = engine.now().since(t0).as_secs_f64();
 
     let t1 = engine.now();
-    let (plan, rebuilt_blocks) = s.rebuild_disk(3, 3).unwrap();
+    let (plan, rebuilt_blocks) = s.rebuild_disk(3, 3).expect("experiment I/O failed");
     engine.spawn_job("rebuild", plan);
-    engine.run().unwrap();
+    engine.run().expect("experiment I/O failed");
     let rebuild_secs = engine.now().since(t1).as_secs_f64();
 
     // Post-rebuild verification.
-    let (after, _) = s.read(2, 0, nblocks).unwrap();
+    let (after, _) = s.read(2, 0, nblocks).expect("experiment I/O failed");
     FaultPoint {
         arch,
         scenario: "single disk failure + rebuild".into(),
@@ -79,7 +79,7 @@ pub fn multi_failure_4x3() -> (bool, bool) {
     let mut s = IoSystem::new(&mut engine, cc, Arch::RaidX, CddConfig::default());
     let bs = s.block_size() as usize;
     let data = dataset(240, bs);
-    s.write(0, 0, &data).unwrap();
+    s.write(0, 0, &data).expect("experiment I/O failed");
     s.fail_disk(0); // row 0
     s.fail_disk(7); // row 1
     s.fail_disk(9); // row 2
@@ -92,8 +92,14 @@ pub fn multi_failure_4x3() -> (bool, bool) {
 /// Render all fault experiments.
 pub fn render() -> String {
     let mut out = String::from("\n### Section 6 fault tolerance, executed\n\n");
-    let headers =
-        ["Architecture", "Scenario", "Data intact", "Degraded read (s)", "Rebuild (s)", "Blocks rebuilt"];
+    let headers = [
+        "Architecture",
+        "Scenario",
+        "Data intact",
+        "Degraded read (s)",
+        "Rebuild (s)",
+        "Blocks rebuilt",
+    ];
     let rows: Vec<Vec<String>> = [Arch::Raid5, Arch::Chained, Arch::Raid10, Arch::RaidX]
         .into_iter()
         .map(|arch| {

@@ -8,7 +8,7 @@ use workloads::{run_parallel_io, BandwidthResult, IoPattern, ParallelIoConfig};
 use crate::harness::{build_store, md_table, par_map, SystemKind};
 
 /// One measured point.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Point {
     /// Architecture.
     pub kind: SystemKind,
@@ -50,9 +50,12 @@ pub fn run_point(kind: SystemKind, pattern: IoPattern, clients: usize) -> Bandwi
 /// Render the sweep as four markdown tables, one per subplot.
 pub fn render(points: &[Point]) -> String {
     let mut out = String::new();
-    for (tag, pattern) in
-        [("(a)", IoPattern::LargeRead), ("(b)", IoPattern::SmallRead), ("(c)", IoPattern::LargeWrite), ("(d)", IoPattern::SmallWrite)]
-    {
+    for (tag, pattern) in [
+        ("(a)", IoPattern::LargeRead),
+        ("(b)", IoPattern::SmallRead),
+        ("(c)", IoPattern::LargeWrite),
+        ("(d)", IoPattern::SmallWrite),
+    ] {
         out.push_str(&format!(
             "\n### Figure 5{tag}: {} — aggregate bandwidth (MB/s)\n\n",
             pattern.label()

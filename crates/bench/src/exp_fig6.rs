@@ -12,7 +12,7 @@ use crate::harness::{build_store, md_table, par_map, SystemKind};
 pub const CLIENTS: [usize; 5] = [1, 4, 8, 16, 32];
 
 /// One measured run.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Point {
     /// Architecture.
     pub kind: SystemKind,

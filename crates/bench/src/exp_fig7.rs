@@ -79,7 +79,10 @@ pub fn render(points: &[Point]) -> String {
             vec![
                 format!("{}x{}", p.shape.0, p.shape.1),
                 p.stagger_width.to_string(),
-                format!("{:.3}", p.result.round_secs.iter().sum::<f64>() / p.result.round_secs.len() as f64),
+                format!(
+                    "{:.3}",
+                    p.result.round_secs.iter().sum::<f64>() / p.result.round_secs.len() as f64
+                ),
                 format!("{:.3}", p.result.mean_blocked_secs),
                 format!("{:.3}", p.result.first_group_blocked_secs),
             ]
@@ -130,10 +133,7 @@ pub fn render_staircase() -> String {
         // The final segment of each bar is the actual write; earlier time
         // is sync + stagger wait. Estimate the write span from group 0's
         // bar (it never waits for a predecessor).
-        let write_span = ((latencies[..cfg.stagger_width]
-            .iter()
-            .cloned()
-            .fold(f64::MAX, f64::min)
+        let write_span = ((latencies[..cfg.stagger_width].iter().cloned().fold(f64::MAX, f64::min)
             / max)
             * WIDTH as f64)
             .round() as usize;
@@ -166,7 +166,13 @@ pub fn render_two_level() -> String {
         "\n### Two-level recovery (image-local checkpoint placement, ~2.9 MB state)\n\n",
     );
     out.push_str(&md_table(
-        &["interconnect", "checkpoint (s)", "transient recovery (s)", "permanent recovery (s)", "transient net bytes"],
+        &[
+            "interconnect",
+            "checkpoint (s)",
+            "transient recovery (s)",
+            "permanent recovery (s)",
+            "transient net bytes",
+        ],
         &[
             vec![
                 "Fast Ethernet".into(),

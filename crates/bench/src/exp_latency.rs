@@ -65,11 +65,7 @@ pub fn render(points: &[Point]) -> String {
                         .iter()
                         .find(|p| p.kind == kind && p.clients == c && p.writes == writes)
                         .expect("missing point");
-                    row.push(format!(
-                        "{:.1} / {:.1}",
-                        p.result.p50 * 1e3,
-                        p.result.p99 * 1e3
-                    ));
+                    row.push(format!("{:.1} / {:.1}", p.result.p50 * 1e3, p.result.p99 * 1e3));
                 }
                 row
             })

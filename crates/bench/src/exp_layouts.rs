@@ -7,7 +7,8 @@ use raidx_core::{ChainedDecluster, Layout, RaidX};
 /// Render Figure 1a: OSM on 4 disks, 3 stripes of data + their images.
 pub fn render_figure_1a() -> String {
     let l = RaidX::new(4, 1, 1000);
-    let mut out = String::from("\n### Figure 1(a): orthogonal striping and mirroring, 4 disks\n\n```\n");
+    let mut out =
+        String::from("\n### Figure 1(a): orthogonal striping and mirroring, 4 disks\n\n```\n");
     out.push_str("            Disk0   Disk1   Disk2   Disk3\n");
     for row in 0..3u64 {
         out.push_str(&format!("data row {row} "));
@@ -41,8 +42,9 @@ pub fn render_figure_1a() -> String {
 /// Render Figure 1b: chained declustering on 4 disks.
 pub fn render_figure_1b() -> String {
     let l = ChainedDecluster::new(4, 6);
-    let mut out =
-        String::from("\n### Figure 1(b): skewed mirroring in chained declustering, 4 disks\n\n```\n");
+    let mut out = String::from(
+        "\n### Figure 1(b): skewed mirroring in chained declustering, 4 disks\n\n```\n",
+    );
     out.push_str("            Disk0   Disk1   Disk2   Disk3\n");
     for row in 0..3u64 {
         out.push_str(&format!("data row {row} "));
@@ -81,10 +83,8 @@ pub fn render_figure_3() -> String {
         out.push_str(&format!("Node {node}: "));
         for row in 0..3 {
             let disk = row * 4 + node;
-            let blocks: Vec<u64> = (0..48u64)
-                .filter(|&lb| l.locate_data(lb).disk == disk)
-                .take(4)
-                .collect();
+            let blocks: Vec<u64> =
+                (0..48u64).filter(|&lb| l.locate_data(lb).disk == disk).take(4).collect();
             out.push_str(&format!(
                 "D{disk:<2}[{}]  ",
                 blocks.iter().map(|b| format!("B{b}")).collect::<Vec<_>>().join(",")

@@ -36,11 +36,7 @@ pub fn run_sweep() -> Vec<Point> {
             cases.push((kind, wf));
         }
     }
-    par_map(cases, |(kind, wf)| Point {
-        kind,
-        write_fraction: wf,
-        result: run_point(kind, wf),
-    })
+    par_map(cases, |(kind, wf)| Point { kind, write_fraction: wf, result: run_point(kind, wf) })
 }
 
 /// Render as markdown.
@@ -48,7 +44,8 @@ pub fn render(points: &[Point]) -> String {
     let mut out = String::from(
         "\n### Mixed transaction workload (16 clients, 1-4 block ops, 80/20 hot-spot skew)\n\n",
     );
-    let headers = ["write ratio", "NFS (ops/s)", "RAID-5 (ops/s)", "RAID-10 (ops/s)", "RAID-x (ops/s)"];
+    let headers =
+        ["write ratio", "NFS (ops/s)", "RAID-5 (ops/s)", "RAID-10 (ops/s)", "RAID-x (ops/s)"];
     let rows: Vec<Vec<String>> = [0.0, 0.3, 0.7]
         .into_iter()
         .map(|wf| {

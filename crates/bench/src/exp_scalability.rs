@@ -98,9 +98,6 @@ mod tests {
     fn raidx_scales_superlinearly_vs_flat() {
         let r8 = run_one(8, false, IoPattern::LargeRead);
         let r32 = run_one(32, false, IoPattern::LargeRead);
-        assert!(
-            r32 > 2.5 * r8,
-            "32 nodes {r32:.1} MB/s vs 8 nodes {r8:.1} MB/s — not scaling"
-        );
+        assert!(r32 > 2.5 * r8, "32 nodes {r32:.1} MB/s vs 8 nodes {r8:.1} MB/s — not scaling");
     }
 }

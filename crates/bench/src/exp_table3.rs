@@ -28,7 +28,8 @@ impl Row {
 
 /// The operations the paper tabulates (it omits small read, whose results
 /// "are very close to that for large read").
-pub const OPS: [IoPattern; 3] = [IoPattern::LargeRead, IoPattern::LargeWrite, IoPattern::SmallWrite];
+pub const OPS: [IoPattern; 3] =
+    [IoPattern::LargeRead, IoPattern::LargeWrite, IoPattern::SmallWrite];
 
 /// Measure every row.
 pub fn run() -> Vec<Row> {
@@ -50,7 +51,8 @@ pub fn render(rows: &[Row]) -> String {
     let mut out = String::from(
         "\n### Table 3: achievable I/O bandwidth and improvement factor (1 vs 16 clients)\n\n",
     );
-    let headers = ["Architecture", "Operation", "1 client (MB/s)", "16 clients (MB/s)", "Improvement"];
+    let headers =
+        ["Architecture", "Operation", "1 client (MB/s)", "16 clients (MB/s)", "Improvement"];
     let data: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -77,7 +79,8 @@ mod tests {
         // Small sanity subset (full sweep is the binary's job): RAID-x
         // improves more from 1 to 16 clients than NFS does.
         let rx1 = run_point(SystemKind::Raid(Arch::RaidX), IoPattern::LargeWrite, 1).aggregate_mbs;
-        let rx16 = run_point(SystemKind::Raid(Arch::RaidX), IoPattern::LargeWrite, 16).aggregate_mbs;
+        let rx16 =
+            run_point(SystemKind::Raid(Arch::RaidX), IoPattern::LargeWrite, 16).aggregate_mbs;
         let n1 = run_point(SystemKind::Nfs, IoPattern::LargeWrite, 1).aggregate_mbs;
         let n16 = run_point(SystemKind::Nfs, IoPattern::LargeWrite, 16).aggregate_mbs;
         assert!(rx16 / rx1 > 2.0 * (n16 / n1).max(0.1));

@@ -6,8 +6,8 @@
 use cdd::{CddConfig, IoSystem};
 use cluster::{Cluster, ClusterConfig};
 use nfs_sim::{NfsConfig, NfsSystem};
-use sim_core::{Engine, SimDuration};
 use raidx_core::Arch;
+use sim_core::{Engine, SimDuration};
 use workloads::{run_parallel_io, IoPattern, ParallelIoConfig};
 
 use crate::harness::md_table;
@@ -59,15 +59,13 @@ pub fn render() -> String {
         ..Default::default()
     };
 
-    let mut out = String::from(
-        "\n### Resource utilization, 16 clients x 2 MB writes\n",
-    );
+    let mut out = String::from("\n### Resource utilization, 16 clients x 2 MB writes\n");
     // RAID-x.
     {
         let mut engine = Engine::new();
         let mut sys =
             IoSystem::new(&mut engine, ClusterConfig::trojans(), Arch::RaidX, CddConfig::default());
-        let r = run_parallel_io(&mut engine, &mut sys, &cfg).unwrap();
+        let r = run_parallel_io(&mut engine, &mut sys, &cfg).expect("experiment I/O failed");
         let span = SimDuration::from_secs_f64(r.drain_secs);
         out.push_str("\n**RAID-x (serverless single I/O space)**\n\n");
         out.push_str(&util_table(&summarize(&engine, &sys.cluster, span)));
@@ -76,16 +74,14 @@ pub fn render() -> String {
     {
         let mut engine = Engine::new();
         let mut sys = NfsSystem::new(&mut engine, ClusterConfig::trojans(), NfsConfig::default());
-        let r = run_parallel_io(&mut engine, &mut sys, &cfg).unwrap();
+        let r = run_parallel_io(&mut engine, &mut sys, &cfg).expect("experiment I/O failed");
         let span = SimDuration::from_secs_f64(r.drain_secs);
         let summary = summarize(&engine, &sys.cluster, span);
         out.push_str("\n**NFS (central server at node 0)**\n\n");
         out.push_str(&util_table(&summary));
         // Name the saturated component explicitly.
-        let hottest = summary
-            .iter()
-            .max_by(|a, b| a.max.total_cmp(&b.max))
-            .expect("summary nonempty");
+        let hottest =
+            summary.iter().max_by(|a, b| a.max.total_cmp(&b.max)).expect("summary nonempty");
         let server_rx = engine.resource_stats(sys.cluster.nodes[0].rx).utilization(span);
         out.push_str(&format!(
             "\nNFS bottleneck: the server's {} at {:.0}% utilization (its rx \

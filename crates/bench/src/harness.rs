@@ -7,7 +7,7 @@ use raidx_core::Arch;
 use sim_core::Engine;
 
 /// The I/O architectures the experiments compare.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SystemKind {
     /// Centralized NFS server.
     Nfs,
@@ -35,12 +35,14 @@ impl SystemKind {
 
 /// Build the block store for `kind` on a cluster described by `cc`,
 /// registering its resources in `engine`.
-pub fn build_store(engine: &mut Engine, cc: ClusterConfig, kind: SystemKind) -> Box<dyn BlockStore> {
+pub fn build_store(
+    engine: &mut Engine,
+    cc: ClusterConfig,
+    kind: SystemKind,
+) -> Box<dyn BlockStore> {
     match kind {
         SystemKind::Nfs => Box::new(NfsSystem::new(engine, cc, NfsConfig::default())),
-        SystemKind::Raid(arch) => {
-            Box::new(IoSystem::new(engine, cc, arch, CddConfig::default()))
-        }
+        SystemKind::Raid(arch) => Box::new(IoSystem::new(engine, cc, arch, CddConfig::default())),
     }
 }
 
@@ -63,28 +65,27 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
     let n = items.len();
     let workers = std::thread::available_parallelism().map_or(4, |p| p.get()).min(n.max(1));
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let work: crossbeam::queue::SegQueue<(usize, T)> = crossbeam::queue::SegQueue::new();
-    for it in items.into_iter().enumerate() {
-        work.push(it);
-    }
-    let slots: Vec<parking_lot::Mutex<&mut Option<R>>> =
-        results.iter_mut().map(parking_lot::Mutex::new).collect();
-    crossbeam::thread::scope(|s| {
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|it| Mutex::new(Some(it))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| {
-                while let Some((i, item)) = work.pop() {
-                    let r = f(item);
-                    **slots[i].lock() = Some(r);
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
                 }
+                let item = work[i].lock().expect("poisoned").take().expect("item claimed twice");
+                let r = f(item);
+                *slots[i].lock().expect("poisoned") = Some(r);
             });
         }
-    })
-    .expect("worker panicked");
-    drop(slots);
-    results.into_iter().map(|r| r.expect("slot unfilled")).collect()
+    });
+    slots.into_iter().map(|s| s.into_inner().expect("poisoned").expect("slot unfilled")).collect()
 }
 
 /// Write a CSV file (header + rows) under `results/`, creating the

@@ -21,5 +21,6 @@ pub mod exp_table2;
 pub mod exp_table3;
 pub mod exp_utilization;
 pub mod harness;
+pub mod microbench;
 
 pub use harness::{build_store, par_map, SystemKind};

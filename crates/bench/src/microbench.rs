@@ -1,0 +1,199 @@
+//! Dependency-free micro-benchmark harness with a Criterion-shaped API.
+//!
+//! The `benches/` entry points were written against Criterion; this module
+//! provides the small subset they use (`Criterion`, benchmark groups,
+//! throughput annotation, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros) so they run with no external crates. Each
+//! benchmark is calibrated to a per-sample budget, timed over a fixed
+//! number of samples, and reported as the median ns/iteration plus derived
+//! throughput.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units processed per iteration, for derived-throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements (events, ops) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Median nanoseconds per iteration of the last `iter` call.
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Calibrate, then time `f` over the configured number of samples.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Calibrate the per-sample iteration count to ~5ms.
+        let budget = Duration::from_millis(5);
+        let mut n = 1u64;
+        loop {
+            // det-ok: a microbenchmark harness measures wall time by design.
+            let t0 = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            if t0.elapsed() >= budget || n >= 1 << 22 {
+                break;
+            }
+            n *= 2;
+        }
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                // det-ok: wall-clock sampling, not a simulation path.
+                let t0 = Instant::now();
+                for _ in 0..n {
+                    black_box(f());
+                }
+                t0.elapsed().as_nanos() as f64 / n as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = per_iter[per_iter.len() / 2];
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    }
+}
+
+fn report(name: &str, median_ns: f64, thrpt: Option<Throughput>) {
+    let mut line = format!("{name:<44} time: {:>12}/iter", human_time(median_ns));
+    match thrpt {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (median_ns * 1e-9);
+            line.push_str(&format!("   thrpt: {:.2} Melem/s", rate / 1e6));
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (median_ns * 1e-9);
+            line.push_str(&format!("   thrpt: {:.1} MiB/s", rate / (1024.0 * 1024.0)));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark driver (Criterion-shaped).
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: self.samples, median_ns: 0.0 };
+        f(&mut b);
+        report(name, b.median_ns, None);
+        self
+    }
+
+    /// Open a named group; group benchmarks share a throughput annotation.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string(), throughput: None }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with units-per-iteration.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: self.parent.samples, median_ns: 0.0 };
+        f(&mut b);
+        report(&format!("{}/{name}", self.name), b.median_ns, self.throughput);
+        self
+    }
+
+    /// End the group (no-op; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Declare a benchmark group function, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::microbench::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the benchmark `main`, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+
+    #[test]
+    fn human_time_scales() {
+        assert!(human_time(10.0).ends_with("ns"));
+        assert!(human_time(10_000.0).ends_with("us"));
+        assert!(human_time(10_000_000.0).ends_with("ms"));
+    }
+}

@@ -22,7 +22,7 @@ pub mod store;
 pub mod system;
 
 pub use config::{CddConfig, ReadBalance};
-pub use locks::{LockConflict, LockGroupTable, LockHandle, LockRecord};
+pub use locks::{LockConflict, LockEvent, LockGroupTable, LockHandle, LockRecord, ReleaseError};
 pub use ops::OpBuilder;
 pub use runs::{merge_runs, Run};
 pub use store::BlockStore;

@@ -27,6 +27,16 @@ impl LockRecord {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LockHandle(usize);
 
+/// Why [`LockGroupTable::try_release`] refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleaseError {
+    /// The handle's slot index was never allocated.
+    Stale,
+    /// The slot exists but holds no grant — a double release or a release
+    /// without a matching grant.
+    NotHeld,
+}
+
 /// Why a lock-group acquisition failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LockConflict {
@@ -38,6 +48,43 @@ pub struct LockConflict {
     pub len: u64,
 }
 
+/// One entry of a recorded grant/release trace (see
+/// [`LockGroupTable::enable_trace`]). The `raidx-verify` lock-order
+/// analyzer replays these to detect cyclic acquisition orders, double
+/// grants and leaked groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockEvent {
+    /// A grant was issued.
+    Grant {
+        /// Client that received the grant.
+        owner: usize,
+        /// First block of the group.
+        start: u64,
+        /// Blocks in the group.
+        len: u64,
+        /// Slot index of the grant (matches the release event).
+        slot: usize,
+    },
+    /// A grant was released.
+    Release {
+        /// Client releasing.
+        owner: usize,
+        /// Slot index being released.
+        slot: usize,
+    },
+    /// An acquisition was rejected because of an overlapping grant.
+    Conflict {
+        /// Client that was refused.
+        owner: usize,
+        /// Client holding the overlapping grant.
+        holder: usize,
+        /// First block of the refused request.
+        start: u64,
+        /// Blocks requested.
+        len: u64,
+    },
+}
+
 /// The lock-group table.
 #[derive(Debug, Default)]
 pub struct LockGroupTable {
@@ -45,6 +92,7 @@ pub struct LockGroupTable {
     free: Vec<usize>,
     grants: u64,
     conflicts: u64,
+    trace: Option<Vec<LockEvent>>,
 }
 
 impl LockGroupTable {
@@ -56,11 +104,19 @@ impl LockGroupTable {
     /// Atomically acquire write permission on `[start, start+len)` for
     /// `owner`. Overlapping grants to *other* owners conflict; a client's
     /// own overlapping grants coexist (write permission is per client).
-    pub fn acquire(&mut self, owner: usize, start: u64, len: u64) -> Result<LockHandle, LockConflict> {
+    pub fn acquire(
+        &mut self,
+        owner: usize,
+        start: u64,
+        len: u64,
+    ) -> Result<LockHandle, LockConflict> {
         assert!(len > 0, "empty lock group");
         for rec in self.slots.iter().flatten() {
             if rec.owner != owner && rec.overlaps(start, len) {
                 self.conflicts += 1;
+                if let Some(t) = &mut self.trace {
+                    t.push(LockEvent::Conflict { owner, holder: rec.owner, start, len });
+                }
                 return Err(LockConflict { holder: rec.owner, start: rec.start, len: rec.len });
             }
         }
@@ -76,14 +132,45 @@ impl LockGroupTable {
                 self.slots.len() - 1
             }
         };
+        if let Some(t) = &mut self.trace {
+            t.push(LockEvent::Grant { owner, start, len, slot: idx });
+        }
         Ok(LockHandle(idx))
     }
 
     /// Atomically release a grant.
     pub fn release(&mut self, h: LockHandle) {
-        let slot = self.slots.get_mut(h.0).expect("stale lock handle");
-        assert!(slot.take().is_some(), "double release");
+        match self.try_release(h) {
+            Ok(()) => {}
+            Err(ReleaseError::Stale) => panic!("stale lock handle"),
+            Err(ReleaseError::NotHeld) => panic!("double release"),
+        }
+    }
+
+    /// Non-panicking release: reports a stale handle or a release of a
+    /// group that is not currently held (double release / release without
+    /// grant) instead of aborting.
+    pub fn try_release(&mut self, h: LockHandle) -> Result<(), ReleaseError> {
+        let slot = self.slots.get_mut(h.0).ok_or(ReleaseError::Stale)?;
+        let rec = slot.take().ok_or(ReleaseError::NotHeld)?;
         self.free.push(h.0);
+        if let Some(t) = &mut self.trace {
+            t.push(LockEvent::Release { owner: rec.owner, slot: h.0 });
+        }
+        Ok(())
+    }
+
+    /// Start recording a grant/release trace (clears any previous one).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Take the recorded trace, leaving recording enabled.
+    pub fn take_trace(&mut self) -> Vec<LockEvent> {
+        match &mut self.trace {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
+        }
     }
 
     /// Number of grants issued over the table's lifetime.
@@ -162,5 +249,50 @@ mod tests {
         let h = t.acquire(0, 0, 1).unwrap();
         t.release(h);
         t.release(h);
+    }
+
+    #[test]
+    fn try_release_reports_double_release() {
+        let mut t = LockGroupTable::new();
+        let h = t.acquire(0, 0, 1).unwrap();
+        assert_eq!(t.try_release(h), Ok(()));
+        assert_eq!(t.try_release(h), Err(ReleaseError::NotHeld));
+    }
+
+    #[test]
+    fn try_release_reports_release_without_grant() {
+        let mut t = LockGroupTable::new();
+        // A handle forged for a slot that was never allocated.
+        assert_eq!(t.try_release(LockHandle(5)), Err(ReleaseError::Stale));
+    }
+
+    #[test]
+    fn trace_records_grant_release_conflict() {
+        let mut t = LockGroupTable::new();
+        t.enable_trace();
+        let h = t.acquire(0, 0, 10).unwrap();
+        assert!(t.acquire(1, 5, 2).is_err());
+        t.release(h);
+        let trace = t.take_trace();
+        assert_eq!(
+            trace,
+            vec![
+                LockEvent::Grant { owner: 0, start: 0, len: 10, slot: 0 },
+                LockEvent::Conflict { owner: 1, holder: 0, start: 5, len: 2 },
+                LockEvent::Release { owner: 0, slot: 0 },
+            ]
+        );
+        // Recording stays enabled after take_trace.
+        let h = t.acquire(2, 100, 1).unwrap();
+        t.release(h);
+        assert_eq!(t.take_trace().len(), 2);
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let mut t = LockGroupTable::new();
+        let h = t.acquire(0, 0, 1).unwrap();
+        t.release(h);
+        assert!(t.take_trace().is_empty());
     }
 }

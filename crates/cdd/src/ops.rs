@@ -39,7 +39,14 @@ impl<'a> OpBuilder<'a> {
     /// Write `nblocks` consecutive blocks starting at physical block
     /// `start` of `disk`, with the data shipped from `client`. `ack`
     /// requests a completion acknowledgement (foreground writes).
-    pub fn write_run(&self, client: usize, disk: usize, start: u64, nblocks: u64, ack: bool) -> Plan {
+    pub fn write_run(
+        &self,
+        client: usize,
+        disk: usize,
+        start: u64,
+        nblocks: u64,
+        ack: bool,
+    ) -> Plan {
         let owner = self.cluster.node_of_disk(disk);
         let payload = nblocks * self.bs();
         let d = &self.cluster.disks[disk];
@@ -152,10 +159,7 @@ mod tests {
         let b = OpBuilder { cluster: &c, cfg: &cfg };
         // One 8-block run vs eight scattered 1-block reads on another disk.
         e.spawn_job("run", b.read_run(0, 1, 0, 8));
-        e.spawn_job(
-            "scattered",
-            seq((0..8).map(|i| b.read_run(0, 2, i * 50, 1)).collect()),
-        );
+        e.spawn_job("scattered", seq((0..8).map(|i| b.read_run(0, 2, i * 50, 1)).collect()));
         e.run().unwrap();
         let run_busy = e.resource_stats(c.disks[1].res).busy;
         let scat_busy = e.resource_stats(c.disks[2].res).busy;

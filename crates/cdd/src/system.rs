@@ -96,7 +96,11 @@ pub struct IoSystem {
     /// Write-behind buffer of the OSM image path: images accumulate per
     /// mirroring group (key → (writer, lb, image addr)) and a *completed*
     /// group flushes as one long sequential background write.
-    pending_images: std::collections::HashMap<u64, Vec<(usize, u64, BlockAddr)>>,
+    // BTreeMap, not HashMap: `flush_images` drains this in iteration
+    // order into the background plan, so the order must be deterministic
+    // across engine instances (the determinism audit diffs two same-seed
+    // runs event for event).
+    pending_images: std::collections::BTreeMap<u64, Vec<(usize, u64, BlockAddr)>>,
     /// Bytes of read traffic dispatched per disk (drives the
     /// `LeastLoaded` balancing policy).
     read_load: Vec<u64>,
@@ -104,7 +108,12 @@ pub struct IoSystem {
 
 impl IoSystem {
     /// Build the cluster in `engine` and assemble the I/O space for `arch`.
-    pub fn new(engine: &mut Engine, cluster_cfg: ClusterConfig, arch: Arch, cfg: CddConfig) -> Self {
+    pub fn new(
+        engine: &mut Engine,
+        cluster_cfg: ClusterConfig,
+        arch: Arch,
+        cfg: CddConfig,
+    ) -> Self {
         let blocks_per_disk = cluster_cfg.blocks_per_disk();
         let layout = raidx_core::layout_for(
             arch,
@@ -127,7 +136,7 @@ impl IoSystem {
             faults: FaultSet::none(),
             locks: LockGroupTable::new(),
             high_water: 0,
-            pending_images: std::collections::HashMap::new(),
+            pending_images: std::collections::BTreeMap::new(),
             read_load: vec![0; total_disks],
         }
     }
@@ -160,6 +169,17 @@ impl IoSystem {
     /// Lock-group grants issued so far.
     pub fn lock_grants(&self) -> u64 {
         self.locks.grants()
+    }
+
+    /// Start recording the lock-group grant/release trace (consumed by
+    /// the `raidx-verify` lock-order analyzer).
+    pub fn enable_lock_trace(&mut self) {
+        self.locks.enable_trace();
+    }
+
+    /// Take the recorded lock trace, leaving recording enabled.
+    pub fn take_lock_trace(&mut self) -> Vec<crate::locks::LockEvent> {
+        self.locks.take_trace()
     }
 
     /// Direct (test) access to the functional plane.
@@ -207,7 +227,13 @@ impl IoSystem {
         Ok(seq(chain))
     }
 
-    fn write_locked(&mut self, client: usize, lb0: u64, nblocks: u64, data: &[u8]) -> Result<Plan, IoError> {
+    fn write_locked(
+        &mut self,
+        client: usize,
+        lb0: u64,
+        nblocks: u64,
+        data: &[u8],
+    ) -> Result<Plan, IoError> {
         match self.layout.write_scheme() {
             WriteScheme::None => self.write_plain(client, lb0, nblocks, data),
             WriteScheme::ForegroundMirror => self.write_mirrored(client, lb0, nblocks, data, false),
@@ -225,7 +251,13 @@ impl IoSystem {
         &data[off..off + bs]
     }
 
-    fn write_plain(&mut self, client: usize, lb0: u64, nblocks: u64, data: &[u8]) -> Result<Plan, IoError> {
+    fn write_plain(
+        &mut self,
+        client: usize,
+        lb0: u64,
+        nblocks: u64,
+        data: &[u8],
+    ) -> Result<Plan, IoError> {
         let mut placements = Vec::with_capacity(nblocks as usize);
         for lb in lb0..lb0 + nblocks {
             let a = self.layout.locate_data(lb);
@@ -316,7 +348,7 @@ impl IoSystem {
     /// the deferred mirror traffic.
     pub fn flush_images(&mut self) -> Plan {
         let mut all: Vec<(usize, u64, BlockAddr)> = Vec::new();
-        for (_, v) in self.pending_images.drain() {
+        for (_, v) in std::mem::take(&mut self.pending_images) {
             all.extend(v);
         }
         if all.is_empty() {
@@ -331,7 +363,13 @@ impl IoSystem {
         self.pending_images.values().map(Vec::len).sum()
     }
 
-    fn write_parity(&mut self, client: usize, lb0: u64, nblocks: u64, data: &[u8]) -> Result<Plan, IoError> {
+    fn write_parity(
+        &mut self,
+        client: usize,
+        lb0: u64,
+        nblocks: u64,
+        data: &[u8],
+    ) -> Result<Plan, IoError> {
         let bs = self.block_size() as usize;
         let width = self.layout.stripe_width() as u64;
         // A block is unstorable only if both its data disk and its
@@ -500,19 +538,15 @@ impl IoSystem {
         let choice = match self.cfg.read_balance {
             ReadBalance::PrimaryOnly => None,
             ReadBalance::LayoutPreference => {
-                if matches!(
-                    self.layout.read_source(run.lbs[0], &self.faults),
-                    ReadSource::Image(_)
-                ) {
+                if matches!(self.layout.read_source(run.lbs[0], &self.faults), ReadSource::Image(_))
+                {
                     self.image_run_of(run)
                 } else {
                     None
                 }
             }
             ReadBalance::LeastLoaded => match self.image_run_of(run) {
-                Some((img_disk, start))
-                    if self.read_load[img_disk] < self.read_load[run.disk] =>
-                {
+                Some((img_disk, start)) if self.read_load[img_disk] < self.read_load[run.disk] => {
                     Some((img_disk, start))
                 }
                 _ => None,
@@ -528,7 +562,12 @@ impl IoSystem {
     /// Read `nblocks` logical blocks starting at `lb0` for node `client`.
     /// Returns the bytes (already materialized from the functional plane)
     /// and the timing plan.
-    pub fn read(&mut self, client: usize, lb0: u64, nblocks: u64) -> Result<(Vec<u8>, Plan), IoError> {
+    pub fn read(
+        &mut self,
+        client: usize,
+        lb0: u64,
+        nblocks: u64,
+    ) -> Result<(Vec<u8>, Plan), IoError> {
         self.validate_range(lb0, nblocks)?;
         let bs = self.block_size() as usize;
         let mut out = vec![0u8; nblocks as usize * bs];
@@ -593,10 +632,8 @@ impl IoSystem {
             branches.push(ops.read_run(client, run.disk, run.start, run.len()));
         }
         for (_, siblings, parity) in &reconstructs {
-            let mut reads: Vec<Plan> = siblings
-                .iter()
-                .map(|(_, a)| ops.read_run(client, a.disk, a.block, 1))
-                .collect();
+            let mut reads: Vec<Plan> =
+                siblings.iter().map(|(_, a)| ops.read_run(client, a.disk, a.block, 1)).collect();
             reads.push(ops.read_run(client, parity.disk, parity.block, 1));
             let n_in = reads.len() as u64 + 1;
             branches.push(seq(vec![par(reads), ops.xor(client, n_in * bs as u64)]));
@@ -735,18 +772,13 @@ impl IoSystem {
 
         // Pace the rebuild in batches (a real rebuilder bounds outstanding
         // I/O rather than flooding every queue at once).
-        let batched: Vec<Plan> = step_plans
-            .chunks(32)
-            .map(|c| par(c.to_vec()))
-            .collect();
+        let batched: Vec<Plan> = step_plans.chunks(32).map(|c| par(c.to_vec())).collect();
         Ok((seq(batched), steps.len()))
     }
 }
 
 fn runs_to_writes(ops: &OpBuilder<'_>, client: usize, runs: &[Run], ack: bool) -> Vec<Plan> {
-    runs.iter()
-        .map(|r| ops.write_run(client, r.disk, r.start, r.len(), ack))
-        .collect()
+    runs.iter().map(|r| ops.write_run(client, r.disk, r.start, r.len(), ack)).collect()
 }
 
 /// Build the background write plans for flushed image blocks, merging

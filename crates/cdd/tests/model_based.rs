@@ -6,8 +6,8 @@
 
 use cdd::{CddConfig, IoSystem};
 use cluster::ClusterConfig;
-use proptest::prelude::*;
 use raidx_core::{Arch, FaultSet};
+use sim_core::check::{run_cases, Gen};
 use sim_core::Engine;
 
 #[derive(Debug, Clone)]
@@ -23,14 +23,13 @@ enum Op {
     Rebuild,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (0u64..10_000, 1u64..8, any::<u8>())
-            .prop_map(|(pos, nblocks, tag)| Op::Write { pos, nblocks, tag }),
-        4 => (0u64..10_000, 1u64..8).prop_map(|(pos, nblocks)| Op::Read { pos, nblocks }),
-        1 => (0usize..64).prop_map(|pick| Op::Fail { pick }),
-        1 => Just(Op::Rebuild),
-    ]
+fn draw_op(g: &mut Gen) -> Op {
+    match g.weighted(&[4, 4, 1, 1]) {
+        0 => Op::Write { pos: g.u64_in(0..10_000), nblocks: g.u64_in(1..8), tag: g.u8() },
+        1 => Op::Read { pos: g.u64_in(0..10_000), nblocks: g.u64_in(1..8) },
+        2 => Op::Fail { pick: g.usize_in(0..64) },
+        _ => Op::Rebuild,
+    }
 }
 
 /// Reference model: one tag byte per logical block (0 = never written).
@@ -109,26 +108,29 @@ fn run_scenario(arch: Arch, ops: Vec<Op>) {
     sys.scrub().unwrap_or_else(|e| panic!("{arch:?}: scrub failed after scenario: {e}"));
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn agree_with_model(name: &str, arch: Arch) {
+    run_cases(name, 24, |g| {
+        let ops = g.vec_of(1..40, draw_op);
+        run_scenario(arch, ops);
+    });
+}
 
-    #[test]
-    fn raidx_agrees_with_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
-        run_scenario(Arch::RaidX, ops);
-    }
+#[test]
+fn raidx_agrees_with_model() {
+    agree_with_model("raidx_agrees_with_model", Arch::RaidX);
+}
 
-    #[test]
-    fn raid10_agrees_with_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
-        run_scenario(Arch::Raid10, ops);
-    }
+#[test]
+fn raid10_agrees_with_model() {
+    agree_with_model("raid10_agrees_with_model", Arch::Raid10);
+}
 
-    #[test]
-    fn chained_agrees_with_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
-        run_scenario(Arch::Chained, ops);
-    }
+#[test]
+fn chained_agrees_with_model() {
+    agree_with_model("chained_agrees_with_model", Arch::Chained);
+}
 
-    #[test]
-    fn raid5_agrees_with_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
-        run_scenario(Arch::Raid5, ops);
-    }
+#[test]
+fn raid5_agrees_with_model() {
+    agree_with_model("raid5_agrees_with_model", Arch::Raid5);
 }

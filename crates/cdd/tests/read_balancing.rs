@@ -15,7 +15,7 @@ fn setup(policy: ReadBalance, arch: Arch) -> (Engine, IoSystem) {
     // Seed data across many stripes.
     let bs = s.block_size() as usize;
     let data: Vec<u8> = (0..64 * bs).map(|i| (i % 251) as u8).collect();
-    s.write(0, 0, &data).unwrap();
+    s.write(0, 0, &data).expect("seed write failed");
     (e, s)
 }
 
@@ -61,7 +61,9 @@ fn least_loaded_spreads_over_both_copies() {
 
 #[test]
 fn balanced_reads_still_return_correct_bytes() {
-    for policy in [ReadBalance::PrimaryOnly, ReadBalance::LayoutPreference, ReadBalance::LeastLoaded] {
+    for policy in
+        [ReadBalance::PrimaryOnly, ReadBalance::LayoutPreference, ReadBalance::LeastLoaded]
+    {
         for arch in [Arch::Raid10, Arch::Chained, Arch::RaidX] {
             let (_e, mut s) = setup(policy, arch);
             let bs = s.block_size() as usize;

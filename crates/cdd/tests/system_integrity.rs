@@ -141,10 +141,7 @@ fn out_of_range_and_bad_length_rejected() {
     let cap = s.capacity_blocks();
     let bs = s.block_size() as usize;
     assert!(matches!(s.read(0, cap, 1), Err(IoError::OutOfRange { .. })));
-    assert!(matches!(
-        s.write(0, cap - 1, &vec![0u8; 2 * bs]),
-        Err(IoError::OutOfRange { .. })
-    ));
+    assert!(matches!(s.write(0, cap - 1, &vec![0u8; 2 * bs]), Err(IoError::OutOfRange { .. })));
     assert!(matches!(s.write(0, 0, &vec![0u8; bs / 2]), Err(IoError::BadLength { .. })));
     assert!(matches!(s.write(0, 0, &[]), Err(IoError::BadLength { .. })));
 }

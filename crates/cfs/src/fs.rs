@@ -14,8 +14,7 @@ use sim_core::plan::{delay, seq};
 use sim_core::{Plan, SimDuration};
 
 use crate::format::{
-    DirEntry, Extent, Inode, InodeKind, SuperBlock, DIRENT_SIZE, INODE_SIZE, MAGIC,
-    MAX_NAME,
+    DirEntry, Extent, Inode, InodeKind, SuperBlock, DIRENT_SIZE, INODE_SIZE, MAGIC, MAX_NAME,
 };
 
 /// File-system errors.
@@ -93,7 +92,8 @@ impl<S: BlockStore> Fs<S> {
         assert!(bs >= 512, "block size too small for the fs format");
         let inodes_per_block = (bs / INODE_SIZE) as u64;
         let itable_blocks = (n_inodes as u64).div_ceil(inodes_per_block);
-        let sb = SuperBlock { magic: MAGIC, n_inodes, itable_start: 1, data_start: 1 + itable_blocks };
+        let sb =
+            SuperBlock { magic: MAGIC, n_inodes, itable_start: 1, data_start: 1 + itable_blocks };
         assert!(sb.data_start < store.capacity_blocks(), "volume too small");
 
         let mut plans = Vec::new();
@@ -287,15 +287,14 @@ impl<S: BlockStore> Fs<S> {
     // ---- directories ----
 
     fn dir_blocks(&self, inode: &Inode) -> Vec<u64> {
-        inode
-            .extents
-            .iter()
-            .filter(|e| e.len > 0)
-            .flat_map(|e| e.start..e.start + e.len)
-            .collect()
+        inode.extents.iter().filter(|e| e.len > 0).flat_map(|e| e.start..e.start + e.len).collect()
     }
 
-    fn dir_entries(&mut self, client: usize, inode: &Inode) -> Result<(Vec<DirEntry>, Plan), FsError> {
+    fn dir_entries(
+        &mut self,
+        client: usize,
+        inode: &Inode,
+    ) -> Result<(Vec<DirEntry>, Plan), FsError> {
         let blocks: Vec<u64> = self.dir_blocks(inode);
         let mut entries = Vec::new();
         let mut plans = Vec::new();
@@ -351,11 +350,7 @@ impl<S: BlockStore> Fs<S> {
         }
         // Grow the directory by one block.
         let ext = self.alloc_blocks(1)?;
-        let slot = dir
-            .extents
-            .iter_mut()
-            .find(|e| e.len == 0)
-            .ok_or(FsError::TooManyExtents)?;
+        let slot = dir.extents.iter_mut().find(|e| e.len == 0).ok_or(FsError::TooManyExtents)?;
         *slot = ext;
         let mut raw = vec![0u8; self.bs()];
         entry.encode(&mut raw[..DIRENT_SIZE]);
@@ -621,11 +616,8 @@ impl<S: BlockStore> Fs<S> {
                 .map(|e| e.len += ext.len)
                 .is_some();
             if !merged {
-                let slot = inode
-                    .extents
-                    .iter_mut()
-                    .find(|e| e.len == 0)
-                    .ok_or(FsError::TooManyExtents)?;
+                let slot =
+                    inode.extents.iter_mut().find(|e| e.len == 0).ok_or(FsError::TooManyExtents)?;
                 *slot = ext;
             }
             let mut padded = vec![0u8; (nblocks as usize) * bs];

@@ -17,7 +17,7 @@ fn raidx_store() -> (Engine, IoSystem) {
 
 fn make_fs() -> (Engine, Fs<IoSystem>) {
     let (e, s) = raidx_store();
-    let (fs, _plan) = Fs::format(s, 512, 0).unwrap();
+    let (fs, _plan) = Fs::format(s, 512, 0).expect("format failed");
     (e, fs)
 }
 

@@ -8,8 +8,8 @@ use std::collections::{HashMap, HashSet};
 use cdd::{CddConfig, IoSystem};
 use cfs::{Fs, FsError};
 use cluster::ClusterConfig;
-use proptest::prelude::*;
 use raidx_core::Arch;
+use sim_core::check::{run_cases, Gen};
 use sim_core::Engine;
 
 #[derive(Debug, Clone)]
@@ -24,22 +24,21 @@ enum Op {
     Rename { d: u8, f: u8, d2: u8, f2: u8 },
 }
 
-fn ops() -> impl Strategy<Value = Op> {
-    let d = 0u8..3;
-    let f = 0u8..3;
-    prop_oneof![
-        1 => d.clone().prop_map(|d| Op::Mkdir { d }),
-        2 => (d.clone(), f.clone()).prop_map(|(d, f)| Op::Create { d, f }),
-        4 => (d.clone(), f.clone(), any::<u16>(), any::<u8>())
-            .prop_map(|(d, f, size, tag)| Op::WriteFile { d, f, size, tag }),
-        4 => (d.clone(), f.clone()).prop_map(|(d, f)| Op::ReadFile { d, f }),
-        1 => (d.clone(), f.clone()).prop_map(|(d, f)| Op::Unlink { d, f }),
-        2 => d.clone().prop_map(|d| Op::Readdir { d }),
-        3 => (d.clone(), f.clone(), 0u16..4096, any::<u8>())
-            .prop_map(|(d, f, size, tag)| Op::Append { d, f, size, tag }),
-        1 => (d.clone(), f.clone(), d, f)
-            .prop_map(|(d, f, d2, f2)| Op::Rename { d, f, d2, f2 }),
-    ]
+fn draw_op(g: &mut Gen) -> Op {
+    let d = |g: &mut Gen| (g.u64_in(0..3) & 0xFF) as u8;
+    let f = |g: &mut Gen| (g.u64_in(0..3) & 0xFF) as u8;
+    match g.weighted(&[1, 2, 4, 4, 1, 2, 3, 1]) {
+        0 => Op::Mkdir { d: d(g) },
+        1 => Op::Create { d: d(g), f: f(g) },
+        2 => Op::WriteFile { d: d(g), f: f(g), size: g.u16(), tag: g.u8() },
+        3 => Op::ReadFile { d: d(g), f: f(g) },
+        4 => Op::Unlink { d: d(g), f: f(g) },
+        5 => Op::Readdir { d: d(g) },
+        6 => {
+            Op::Append { d: d(g), f: f(g), size: (g.u64_in(0..4096) & 0xFFFF) as u16, tag: g.u8() }
+        }
+        _ => Op::Rename { d: d(g), f: f(g), d2: d(g), f2: f(g) },
+    }
 }
 
 fn dir_path(d: u8) -> String {
@@ -61,11 +60,10 @@ struct Model {
     files: HashMap<(u8, u8), Vec<u8>>,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn fs_agrees_with_model(script in proptest::collection::vec(ops(), 1..60)) {
+#[test]
+fn fs_agrees_with_model() {
+    run_cases("fs_agrees_with_model", 32, |g| {
+        let script = g.vec_of(1..60, draw_op);
         let mut cc = ClusterConfig::shape(4, 1);
         cc.disk.capacity = 64 << 20;
         let mut engine = Engine::new();
@@ -79,31 +77,31 @@ proptest! {
                 Op::Mkdir { d } => {
                     let real = fs.mkdir(client, &dir_path(d));
                     if model.dirs.insert(d) {
-                        prop_assert!(real.is_ok(), "mkdir should succeed");
+                        assert!(real.is_ok(), "mkdir should succeed");
                     } else {
-                        prop_assert!(matches!(real, Err(FsError::Exists(_))));
+                        assert!(matches!(real, Err(FsError::Exists(_))));
                     }
                 }
                 Op::Create { d, f } => {
                     let real = fs.create(client, &file_path(d, f));
                     if !model.dirs.contains(&d) {
-                        prop_assert!(matches!(real, Err(FsError::NotFound(_))));
+                        assert!(matches!(real, Err(FsError::NotFound(_))));
                     } else if let std::collections::hash_map::Entry::Vacant(e) =
                         model.files.entry((d, f))
                     {
-                        prop_assert!(real.is_ok());
+                        assert!(real.is_ok());
                         e.insert(Vec::new());
                     } else {
-                        prop_assert!(matches!(real, Err(FsError::Exists(_))));
+                        assert!(matches!(real, Err(FsError::Exists(_))));
                     }
                 }
                 Op::WriteFile { d, f, size, tag } => {
                     let data = payload(size, tag);
                     let real = fs.write_file(client, &file_path(d, f), &data);
                     if !model.dirs.contains(&d) {
-                        prop_assert!(matches!(real, Err(FsError::NotFound(_))));
+                        assert!(matches!(real, Err(FsError::NotFound(_))));
                     } else {
-                        prop_assert!(real.is_ok(), "write_file failed: {:?}", real.err());
+                        assert!(real.is_ok(), "write_file failed: {:?}", real.err());
                         model.files.insert((d, f), data);
                     }
                 }
@@ -112,17 +110,17 @@ proptest! {
                     match model.files.get(&(d, f)) {
                         Some(want) => {
                             let (got, _) = real.expect("read of existing file");
-                            prop_assert_eq!(&got, want);
+                            assert_eq!(&got, want);
                         }
-                        None => prop_assert!(matches!(real, Err(FsError::NotFound(_)))),
+                        None => assert!(matches!(real, Err(FsError::NotFound(_)))),
                     }
                 }
                 Op::Unlink { d, f } => {
                     let real = fs.unlink(client, &file_path(d, f));
                     if model.files.remove(&(d, f)).is_some() {
-                        prop_assert!(real.is_ok());
+                        assert!(real.is_ok());
                     } else {
-                        prop_assert!(matches!(real, Err(FsError::NotFound(_))));
+                        assert!(matches!(real, Err(FsError::NotFound(_))));
                     }
                 }
                 Op::Append { d, f, size, tag } => {
@@ -130,12 +128,12 @@ proptest! {
                     let real = fs.append(client, &file_path(d, f), &data);
                     if !model.dirs.contains(&d) {
                         if data.is_empty() {
-                            prop_assert!(real.is_ok(), "empty append is a no-op");
+                            assert!(real.is_ok(), "empty append is a no-op");
                         } else {
-                            prop_assert!(matches!(real, Err(FsError::NotFound(_))));
+                            assert!(matches!(real, Err(FsError::NotFound(_))));
                         }
                     } else {
-                        prop_assert!(real.is_ok(), "append failed: {:?}", real.err());
+                        assert!(real.is_ok(), "append failed: {:?}", real.err());
                         if !data.is_empty() || model.files.contains_key(&(d, f)) {
                             model.files.entry((d, f)).or_default().extend_from_slice(&data);
                         }
@@ -144,17 +142,14 @@ proptest! {
                 Op::Rename { d, f, d2, f2 } => {
                     let real = fs.rename(client, &file_path(d, f), &file_path(d2, f2));
                     let src_exists = model.files.contains_key(&(d, f));
-                    let dst_exists = model.files.contains_key(&(d2, f2))
-                        || (d, f) == (d2, f2);
+                    let dst_exists = model.files.contains_key(&(d2, f2)) || (d, f) == (d2, f2);
                     let dst_dir = model.dirs.contains(&d2);
-                    if !src_exists {
-                        prop_assert!(matches!(real, Err(FsError::NotFound(_))));
-                    } else if !dst_dir {
-                        prop_assert!(matches!(real, Err(FsError::NotFound(_))));
+                    if !src_exists || !dst_dir {
+                        assert!(matches!(real, Err(FsError::NotFound(_))));
                     } else if dst_exists {
-                        prop_assert!(matches!(real, Err(FsError::Exists(_))));
+                        assert!(matches!(real, Err(FsError::Exists(_))));
                     } else {
-                        prop_assert!(real.is_ok(), "rename failed: {:?}", real.err());
+                        assert!(real.is_ok(), "rename failed: {:?}", real.err());
                         let contents = model.files.remove(&(d, f)).expect("src exists");
                         model.files.insert((d2, f2), contents);
                     }
@@ -163,8 +158,7 @@ proptest! {
                     let real = fs.readdir(client, &dir_path(d));
                     if model.dirs.contains(&d) {
                         let (entries, _) = real.expect("readdir of existing dir");
-                        let mut got: Vec<String> =
-                            entries.into_iter().map(|e| e.name).collect();
+                        let mut got: Vec<String> = entries.into_iter().map(|e| e.name).collect();
                         got.sort();
                         let mut want: Vec<String> = model
                             .files
@@ -173,9 +167,9 @@ proptest! {
                             .map(|(_, ff)| format!("f{ff}"))
                             .collect();
                         want.sort();
-                        prop_assert_eq!(got, want);
+                        assert_eq!(got, want);
                     } else {
-                        prop_assert!(matches!(real, Err(FsError::NotFound(_))));
+                        assert!(matches!(real, Err(FsError::NotFound(_))));
                     }
                 }
             }
@@ -183,7 +177,7 @@ proptest! {
         // Final sweep: every surviving file reads back exactly.
         for ((d, f), want) in &model.files {
             let (got, _) = fs.read_file(0, &file_path(*d, *f)).expect("final read");
-            prop_assert_eq!(&got, want);
+            assert_eq!(&got, want);
         }
-    }
+    });
 }

@@ -197,7 +197,8 @@ mod tests {
     #[test]
     fn checkpoints_complete_and_verify() {
         let (mut e, mut s) = setup(4, 3);
-        let cfg = CheckpointConfig { processes: 12, stagger_width: 4, rounds: 2, ..Default::default() };
+        let cfg =
+            CheckpointConfig { processes: 12, stagger_width: 4, rounds: 2, ..Default::default() };
         let r = run_striped_checkpoint(&mut e, &mut s, &cfg).unwrap();
         assert_eq!(r.round_secs.len(), 2);
         assert!(r.round_secs.iter().all(|&t| t > 0.0));
@@ -209,7 +210,8 @@ mod tests {
     #[test]
     fn staggering_staircase_first_group_resumes_early() {
         let (mut e, mut s) = setup(4, 3);
-        let cfg = CheckpointConfig { processes: 12, stagger_width: 4, rounds: 1, ..Default::default() };
+        let cfg =
+            CheckpointConfig { processes: 12, stagger_width: 4, rounds: 1, ..Default::default() };
         let r = run_striped_checkpoint(&mut e, &mut s, &cfg).unwrap();
         // Figure 7: group 0 resumes well before the round ends.
         assert!(
@@ -224,8 +226,12 @@ mod tests {
     fn staggering_cuts_first_group_blocking_vs_no_stagger() {
         let run_width = |w: usize| {
             let (mut e, mut s) = setup(4, 3);
-            let cfg =
-                CheckpointConfig { processes: 12, stagger_width: w, rounds: 1, ..Default::default() };
+            let cfg = CheckpointConfig {
+                processes: 12,
+                stagger_width: w,
+                rounds: 1,
+                ..Default::default()
+            };
             run_striped_checkpoint(&mut e, &mut s, &cfg).unwrap()
         };
         let all_at_once = run_width(12);
@@ -243,7 +249,8 @@ mod tests {
     #[test]
     fn transient_failure_recovers_from_mirror() {
         let (mut e, mut s) = setup(4, 1);
-        let cfg = CheckpointConfig { processes: 4, stagger_width: 2, rounds: 1, ..Default::default() };
+        let cfg =
+            CheckpointConfig { processes: 4, stagger_width: 2, rounds: 1, ..Default::default() };
         run_striped_checkpoint(&mut e, &mut s, &cfg).unwrap();
         // Permanent single-disk failure: every checkpoint still verifies
         // through the OSM images.
@@ -256,7 +263,8 @@ mod tests {
     #[test]
     fn corrupted_checkpoint_detected() {
         let (mut e, mut s) = setup(4, 1);
-        let cfg = CheckpointConfig { processes: 2, stagger_width: 2, rounds: 1, ..Default::default() };
+        let cfg =
+            CheckpointConfig { processes: 2, stagger_width: 2, rounds: 1, ..Default::default() };
         run_striped_checkpoint(&mut e, &mut s, &cfg).unwrap();
         // Overwrite process 0's region with garbage.
         let bs = s.block_size();

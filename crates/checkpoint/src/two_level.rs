@@ -80,8 +80,7 @@ pub fn run_two_level(
     let checkpoint_secs = engine.now().since(t0).as_secs_f64();
 
     // --- Transient recovery: read the local image clusters directly.
-    let tx_before: u64 =
-        sys.cluster.nodes.iter().map(|n| engine.resource_stats(n.tx).bytes).sum();
+    let tx_before: u64 = sys.cluster.nodes.iter().map(|n| engine.resource_stats(n.tx).bytes).sum();
     let images: Vec<(u64, raidx_core::BlockAddr)> =
         lbs.iter().map(|&lb| (lb, sys.layout().locate_images(lb)[0])).collect();
     let ops = OpBuilder { cluster: &sys.cluster, cfg: &CddConfig::default() };
@@ -93,8 +92,7 @@ pub fn run_two_level(
     engine.spawn_job("transient-recovery", par(reads));
     engine.run().expect("transient recovery deadlocked");
     let transient_secs = engine.now().since(t1).as_secs_f64();
-    let tx_after: u64 =
-        sys.cluster.nodes.iter().map(|n| engine.resource_stats(n.tx).bytes).sum();
+    let tx_after: u64 = sys.cluster.nodes.iter().map(|n| engine.resource_stats(n.tx).bytes).sum();
 
     // --- Permanent recovery: the node is gone; a neighbour reads the
     // striped data blocks.

@@ -57,18 +57,12 @@ impl Cluster {
                     bytes_per_sec: cfg.net.sw_copy_rate,
                 }),
             );
-            let tx = engine.add_resource(
-                format!("node{n}/tx"),
-                Box::new(FixedRate::rate(cfg.net.link_rate)),
-            );
-            let rx = engine.add_resource(
-                format!("node{n}/rx"),
-                Box::new(FixedRate::rate(cfg.net.link_rate)),
-            );
-            let bus = engine.add_resource(
-                format!("node{n}/scsi"),
-                Box::new(ScsiBus::new(cfg.bus.clone())),
-            );
+            let tx = engine
+                .add_resource(format!("node{n}/tx"), Box::new(FixedRate::rate(cfg.net.link_rate)));
+            let rx = engine
+                .add_resource(format!("node{n}/rx"), Box::new(FixedRate::rate(cfg.net.link_rate)));
+            let bus = engine
+                .add_resource(format!("node{n}/scsi"), Box::new(ScsiBus::new(cfg.bus.clone())));
             nodes.push(Node { cpu, tx, rx, bus });
         }
         let total = cfg.total_disks();

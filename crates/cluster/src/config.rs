@@ -66,10 +66,7 @@ impl ClusterConfig {
         assert!(self.nodes > 0, "cluster needs at least one node");
         assert!(self.disks_per_node > 0, "nodes need at least one disk");
         assert!(self.block_size > 0, "block size must be nonzero");
-        assert!(
-            self.blocks_per_disk() >= 4,
-            "disk capacity must hold at least four blocks"
-        );
+        assert!(self.blocks_per_disk() >= 4, "disk capacity must hold at least four blocks");
     }
 }
 

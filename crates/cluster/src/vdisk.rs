@@ -172,11 +172,7 @@ impl DataPlane {
 
     /// Indices of currently failed disks.
     pub fn failed_disks(&self) -> Vec<usize> {
-        self.disks
-            .iter()
-            .enumerate()
-            .filter_map(|(i, d)| d.failed.then_some(i))
-            .collect()
+        self.disks.iter().enumerate().filter_map(|(i, d)| d.failed.then_some(i)).collect()
     }
 }
 

@@ -140,9 +140,7 @@ mod tests {
         targets.sort();
         targets.dedup();
         assert_eq!(targets.len(), steps.len(), "duplicate targets");
-        let expected: usize = (0..used)
-            .filter(|&lb| l.locate_data(lb).disk == 0)
-            .count()
+        let expected: usize = (0..used).filter(|&lb| l.locate_data(lb).disk == 0).count()
             + (0..used).filter(|&lb| l.image_addr(lb).disk == 0).count();
         assert_eq!(steps.len(), expected);
         for s in &steps {
@@ -159,7 +157,9 @@ mod tests {
         assert!(steps.iter().all(|s| matches!(s.source, RebuildSource::Xor { .. })));
         // Data blocks restore with parity in the XOR set; parity blocks
         // without.
-        assert!(steps.iter().any(|s| matches!(&s.source, RebuildSource::Xor { parity: Some(_), .. })));
+        assert!(steps
+            .iter()
+            .any(|s| matches!(&s.source, RebuildSource::Xor { parity: Some(_), .. })));
         assert!(steps.iter().any(|s| matches!(&s.source, RebuildSource::Xor { parity: None, .. })));
     }
 

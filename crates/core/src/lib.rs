@@ -47,7 +47,12 @@ pub use types::{BlockAddr, FaultSet};
 /// Build the layout for `arch` over `ndisks` disks of `blocks_per_disk`
 /// blocks, matching how the Trojans experiments configured each
 /// architecture (RAID-x uses the n×k shape implied by `nodes`).
-pub fn layout_for(arch: Arch, nodes: usize, disks_per_node: usize, blocks_per_disk: u64) -> Box<dyn Layout> {
+pub fn layout_for(
+    arch: Arch,
+    nodes: usize,
+    disks_per_node: usize,
+    blocks_per_disk: u64,
+) -> Box<dyn Layout> {
     let ndisks = nodes * disks_per_node;
     match arch {
         Arch::Raid5 => Box::new(Raid5::new(ndisks, blocks_per_disk)),

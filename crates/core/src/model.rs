@@ -14,7 +14,7 @@
 //! counts it) and the `sustained_*` variants include it.
 
 /// Architectures covered by Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Arch {
     /// Rotating parity.
     Raid5,

@@ -239,11 +239,8 @@ mod tests {
                 let l = RaidX::new(n, k, 240);
                 let stripes = l.capacity_blocks() / n as u64;
                 for s in 0..stripes.min(200) {
-                    let disks: HashSet<usize> = l
-                        .stripe_blocks(s)
-                        .iter()
-                        .map(|&lb| l.image_addr(lb).disk)
-                        .collect();
+                    let disks: HashSet<usize> =
+                        l.stripe_blocks(s).iter().map(|&lb| l.image_addr(lb).disk).collect();
                     assert!(
                         !disks.is_empty() && disks.len() <= 2,
                         "n={n} k={k} s={s}: images on {disks:?}"
@@ -293,7 +290,7 @@ mod tests {
         assert_eq!(l.locate_data(4), BlockAddr::new(4, 0));
         assert_eq!(l.locate_data(8), BlockAddr::new(8, 0));
         assert_eq!(l.locate_data(12), BlockAddr::new(0, 1)); // B12 under B0 on D0
-        // Each stripe touches all 4 nodes exactly once.
+                                                             // Each stripe touches all 4 nodes exactly once.
         for s in 0..60 {
             let nodes: HashSet<usize> =
                 l.stripe_blocks(s).iter().map(|&lb| l.locate_data(lb).disk % 4).collect();
@@ -338,7 +335,8 @@ mod tests {
         // Verify the loss is real: some block has data on one failed disk
         // and image on the other.
         let failed = FaultSet::of(&[0, 2]);
-        let lost = (0..l.capacity_blocks()).any(|lb| l.read_source(lb, &failed) == ReadSource::Lost);
+        let lost =
+            (0..l.capacity_blocks()).any(|lb| l.read_source(lb, &failed) == ReadSource::Lost);
         assert!(lost);
     }
 

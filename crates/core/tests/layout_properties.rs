@@ -1,16 +1,17 @@
 //! Property-based tests of the layout invariants across randomly drawn
-//! array shapes, capacities and block ranges.
+//! array shapes, capacities and block ranges (driven by the deterministic
+//! in-tree harness in `sim_core::check`).
 
-use proptest::prelude::*;
 use raidx_core::layout::{check_layout_invariants, Layout, ReadSource};
 use raidx_core::{ChainedDecluster, FaultSet, Raid0, Raid10, Raid5, RaidX};
+use sim_core::check::{run_cases, Gen};
 use std::collections::HashSet;
 
-fn shapes() -> impl Strategy<Value = (usize, usize, u64)> {
-    // (n nodes, k disks/node, blocks per disk). The disk must hold at
-    // least one whole image group per half (RaidX::new rejects smaller
-    // disks, which `raidx_rejects_undersized_disks` checks separately).
-    (2usize..=12, 1usize..=4, 64u64..=512)
+/// Draw `(n nodes, k disks/node, blocks per disk)`. The disk must hold at
+/// least one whole image group per half (`RaidX::new` rejects smaller
+/// disks, which `raidx_rejects_undersized_disks` checks separately).
+fn shape(g: &mut Gen) -> (usize, usize, u64) {
+    (g.usize_in(2..13), g.usize_in(1..5), g.u64_in(64..513))
 }
 
 #[test]
@@ -20,87 +21,100 @@ fn raidx_rejects_undersized_disks() {
     RaidX::new(10, 1, 16);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// RAID-x orthogonality: no block's image shares its data disk, for
-    /// any shape, over the whole logical space (or its first 4096 blocks).
-    #[test]
-    fn raidx_orthogonality((n, k, bpd) in shapes()) {
+/// RAID-x orthogonality: no block's image shares its data disk, for
+/// any shape, over the whole logical space (or its first 4096 blocks).
+#[test]
+fn raidx_orthogonality() {
+    run_cases("raidx_orthogonality", 64, |g| {
+        let (n, k, bpd) = shape(g);
         let l = RaidX::new(n, k, bpd);
         let cap = l.capacity_blocks().min(4096);
         for lb in 0..cap {
             let d = l.locate_data(lb);
             let m = l.image_addr(lb);
-            prop_assert_ne!(d.disk, m.disk);
-            prop_assert!(m.block >= l.image_base());
-            prop_assert!(m.block < bpd);
-            prop_assert!(d.block < l.image_base());
+            assert_ne!(d.disk, m.disk);
+            assert!(m.block >= l.image_base());
+            assert!(m.block < bpd);
+            assert!(d.block < l.image_base());
         }
-    }
+    });
+}
 
-    /// The images of every stripe group occupy exactly one or two disks.
-    #[test]
-    fn raidx_stripe_images_two_disks((n, k, bpd) in shapes()) {
+/// The images of every stripe group occupy exactly one or two disks.
+#[test]
+fn raidx_stripe_images_two_disks() {
+    run_cases("raidx_stripe_images_two_disks", 64, |g| {
+        let (n, k, bpd) = shape(g);
         let l = RaidX::new(n, k, bpd);
         let stripes = (l.capacity_blocks() / n as u64).min(512);
         for s in 0..stripes {
             let disks: HashSet<usize> =
                 l.stripe_blocks(s).iter().map(|&lb| l.image_addr(lb).disk).collect();
-            prop_assert!((1..=2).contains(&disks.len()));
+            assert!((1..=2).contains(&disks.len()));
         }
-    }
+    });
+}
 
-    /// Physical addresses (data plus images) are globally unique.
-    #[test]
-    fn raidx_no_address_collisions((n, k, bpd) in shapes()) {
+/// Physical addresses (data plus images) are globally unique.
+#[test]
+fn raidx_no_address_collisions() {
+    run_cases("raidx_no_address_collisions", 64, |g| {
+        let (n, k, bpd) = shape(g);
         let l = RaidX::new(n, k, bpd);
         let cap = l.capacity_blocks().min(2048);
         let mut seen = HashSet::new();
         for lb in 0..cap {
-            prop_assert!(seen.insert(l.locate_data(lb)));
-            prop_assert!(seen.insert(l.image_addr(lb)));
+            assert!(seen.insert(l.locate_data(lb)));
+            assert!(seen.insert(l.image_addr(lb)));
         }
-    }
+    });
+}
 
-    /// Every single-disk failure is survivable on RAID-x, and every block
-    /// remains readable through its image.
-    #[test]
-    fn raidx_single_failure_readable((n, k, bpd) in shapes(), fail_seed in 0usize..1000) {
+/// Every single-disk failure is survivable on RAID-x, and every block
+/// remains readable through its image.
+#[test]
+fn raidx_single_failure_readable() {
+    run_cases("raidx_single_failure_readable", 64, |g| {
+        let (n, k, bpd) = shape(g);
+        let fail_seed = g.usize_in(0..1000);
         let l = RaidX::new(n, k, bpd);
         let dead = fail_seed % l.ndisks();
         let failed = FaultSet::of(&[dead]);
-        prop_assert!(l.tolerates(&failed));
+        assert!(l.tolerates(&failed));
         for lb in 0..l.capacity_blocks().min(1024) {
             match l.read_source(lb, &failed) {
-                ReadSource::Primary(a) | ReadSource::Image(a) => prop_assert_ne!(a.disk, dead),
-                other => prop_assert!(false, "lb={} gave {:?}", lb, other),
+                ReadSource::Primary(a) | ReadSource::Image(a) => assert_ne!(a.disk, dead),
+                other => panic!("lb={lb} gave {other:?}"),
             }
         }
-    }
+    });
+}
 
-    /// `tolerates` is exactly "no two failures in one row" for RAID-x.
-    #[test]
-    fn raidx_tolerates_iff_rows_distinct(
-        (n, k, bpd) in shapes(),
-        picks in proptest::collection::vec(0usize..10_000, 0..5)
-    ) {
+/// `tolerates` is exactly "no two failures in one row" for RAID-x.
+#[test]
+fn raidx_tolerates_iff_rows_distinct() {
+    run_cases("raidx_tolerates_iff_rows_distinct", 64, |g| {
+        let (n, k, bpd) = shape(g);
+        let picks = g.vec_of(0..5, |g| g.usize_in(0..10_000));
         let l = RaidX::new(n, k, bpd);
         let failed: FaultSet = picks.iter().map(|p| p % l.ndisks()).collect();
         let mut rows = HashSet::new();
         let all_distinct = failed.iter().all(|d| rows.insert(l.row_of_disk(d)));
-        prop_assert_eq!(l.tolerates(&failed), all_distinct);
+        assert_eq!(l.tolerates(&failed), all_distinct);
         // When tolerated, nothing reads as Lost.
         if all_distinct {
             for lb in (0..l.capacity_blocks()).step_by(97) {
-                prop_assert_ne!(l.read_source(lb, &failed), ReadSource::Lost);
+                assert_ne!(l.read_source(lb, &failed), ReadSource::Lost);
             }
         }
-    }
+    });
+}
 
-    /// Generic invariants hold for all five layouts on random shapes.
-    #[test]
-    fn all_layouts_invariants((n, k, bpd) in shapes()) {
+/// Generic invariants hold for all five layouts on random shapes.
+#[test]
+fn all_layouts_invariants() {
+    run_cases("all_layouts_invariants", 64, |g| {
+        let (n, k, bpd) = shape(g);
         let nd = n * k;
         let limit = 2048;
         check_layout_invariants(&Raid0::new(nd, bpd), bpd, limit);
@@ -112,60 +126,74 @@ proptest! {
             check_layout_invariants(&Raid10::new(nd, bpd), bpd, limit);
         }
         check_layout_invariants(&ChainedDecluster::new(nd, bpd), bpd, limit);
-    }
+    });
+}
 
-    /// RAID-5 degraded reads always return a reconstruction whose members
-    /// avoid the failed disk and cover the whole stripe.
-    #[test]
-    fn raid5_degraded_reconstruction_complete(nd in 3usize..=16, bpd in 8u64..=256, pick in 0u64..10_000) {
+/// RAID-5 degraded reads always return a reconstruction whose members
+/// avoid the failed disk and cover the whole stripe.
+#[test]
+fn raid5_degraded_reconstruction_complete() {
+    run_cases("raid5_degraded_reconstruction_complete", 64, |g| {
+        let nd = g.usize_in(3..17);
+        let bpd = g.u64_in(8..257);
+        let pick = g.u64_in(0..10_000);
         let l = Raid5::new(nd, bpd);
         let lb = pick % l.capacity_blocks();
         let dead = l.locate_data(lb).disk;
         let failed = FaultSet::of(&[dead]);
         match l.read_source(lb, &failed) {
             ReadSource::Reconstruct { siblings, parity } => {
-                prop_assert_eq!(siblings.len(), nd - 2);
-                prop_assert!(!failed.contains(parity.disk));
-                let mut disks: HashSet<usize> =
-                    siblings.iter().map(|(_, a)| a.disk).collect();
+                assert_eq!(siblings.len(), nd - 2);
+                assert!(!failed.contains(parity.disk));
+                let mut disks: HashSet<usize> = siblings.iter().map(|(_, a)| a.disk).collect();
                 disks.insert(parity.disk);
                 disks.insert(dead);
                 // Stripe spans all disks exactly once.
-                prop_assert_eq!(disks.len(), nd);
+                assert_eq!(disks.len(), nd);
             }
-            other => prop_assert!(false, "expected reconstruct, got {:?}", other),
+            other => panic!("expected reconstruct, got {other:?}"),
         }
-    }
+    });
+}
 
-    /// Chained declustering: survivable iff no two adjacent failures; and
-    /// under any survivable fault set every block reads from a live disk.
-    #[test]
-    fn chained_adjacency_rule(nd in 2usize..=16, bpd in 8u64..=128, picks in proptest::collection::vec(0usize..10_000, 0..4)) {
+/// Chained declustering: survivable iff no two adjacent failures; and
+/// under any survivable fault set every block reads from a live disk.
+#[test]
+fn chained_adjacency_rule() {
+    run_cases("chained_adjacency_rule", 64, |g| {
+        let nd = g.usize_in(2..17);
+        let bpd = g.u64_in(8..129);
+        let picks = g.vec_of(0..4, |g| g.usize_in(0..10_000));
         let l = ChainedDecluster::new(nd, bpd);
         let failed: FaultSet = picks.iter().map(|p| p % nd).collect();
         let adjacent = (0..nd).any(|i| failed.contains(i) && failed.contains((i + 1) % nd));
-        prop_assert_eq!(l.tolerates(&failed), !adjacent);
+        assert_eq!(l.tolerates(&failed), !adjacent);
         if !adjacent {
             for lb in (0..l.capacity_blocks()).step_by(31) {
                 match l.read_source(lb, &failed) {
                     ReadSource::Primary(a) | ReadSource::Image(a) => {
-                        prop_assert!(!failed.contains(a.disk));
+                        assert!(!failed.contains(a.disk));
                     }
-                    other => prop_assert!(false, "{:?}", other),
+                    other => panic!("{other:?}"),
                 }
             }
         }
-    }
+    });
+}
 
-    /// Capacity accounting: RAID-x loses at most one group's worth of
-    /// rounding per row versus exactly half the raw space.
-    #[test]
-    fn raidx_capacity_bound((n, k, bpd) in shapes()) {
+/// Capacity accounting: RAID-x loses at most one group's worth of
+/// rounding per row versus exactly half the raw space.
+#[test]
+fn raidx_capacity_bound() {
+    run_cases("raidx_capacity_bound", 64, |g| {
+        let (n, k, bpd) = shape(g);
         let l = RaidX::new(n, k, bpd);
         let raw = (n * k) as u64 * bpd;
-        prop_assert!(l.capacity_blocks() <= raw / 2);
+        assert!(l.capacity_blocks() <= raw / 2);
         let lost = raw / 2 - l.capacity_blocks();
-        prop_assert!(lost <= (n as u64 * k as u64) * (n as u64 - 1) + raw / 2 % 2 * (n as u64 * k as u64),
-            "capacity lost {} blocks", lost);
-    }
+        assert!(
+            lost <= (n as u64 * k as u64) * (n as u64 - 1) + raw / 2 % 2 * (n as u64 * k as u64),
+            "capacity lost {lost} blocks"
+        );
+    });
 }

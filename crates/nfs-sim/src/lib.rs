@@ -135,7 +135,12 @@ impl NfsSystem {
     }
 
     /// Read `nblocks` from logical block `lb0` for node `client`.
-    pub fn read(&mut self, client: usize, lb0: u64, nblocks: u64) -> Result<(Vec<u8>, Plan), IoError> {
+    pub fn read(
+        &mut self,
+        client: usize,
+        lb0: u64,
+        nblocks: u64,
+    ) -> Result<(Vec<u8>, Plan), IoError> {
         self.validate(lb0, nblocks)?;
         let bs = self.block_size() as usize;
         let mut out = vec![0u8; nblocks as usize * bs];

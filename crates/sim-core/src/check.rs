@@ -1,0 +1,156 @@
+//! Minimal deterministic property-testing harness.
+//!
+//! A dependency-free stand-in for an external property-testing crate: test
+//! cases are driven by the same [`SplitMix64`] generator the simulator uses,
+//! seeded from the test name, so every run explores the same cases and a
+//! failure report pinpoints the reproducing seed. No shrinking — cases are
+//! kept small enough to debug directly.
+
+use crate::rng::SplitMix64;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Per-case random value source handed to the property closure.
+#[derive(Debug, Clone)]
+pub struct Gen {
+    rng: SplitMix64,
+}
+
+impl Gen {
+    /// A generator for one case, from an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        Gen { rng: SplitMix64::new(seed) }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform `u64` in `[range.start, range.end)`.
+    pub fn u64_in(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.rng.next_below(range.end - range.start)
+    }
+
+    /// Uniform `usize` in `[range.start, range.end)`.
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        self.u64_in(range.start as u64..range.end as u64) as usize
+    }
+
+    /// Uniform `u8` over its full domain.
+    pub fn u8(&mut self) -> u8 {
+        (self.u64() & 0xFF) as u8
+    }
+
+    /// Uniform `u16` over its full domain.
+    pub fn u16(&mut self) -> u16 {
+        (self.u64() & 0xFFFF) as u16
+    }
+
+    /// Coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.u64() & 1 == 1
+    }
+
+    /// Pick an index with the given relative weights (like a weighted
+    /// one-of combinator). Returns the chosen index in `0..weights.len()`.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+        assert!(total > 0, "all weights zero");
+        let mut roll = self.rng.next_below(total);
+        for (i, &w) in weights.iter().enumerate() {
+            let w = u64::from(w);
+            if roll < w {
+                return i;
+            }
+            roll -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// A vector of `len` items drawn by `f`, with `len` uniform in `range`.
+    pub fn vec_of<T>(&mut self, range: Range<usize>, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let len = self.usize_in(range);
+        (0..len).map(|_| f(self)).collect()
+    }
+}
+
+/// FNV-1a hash of the test name: a stable, platform-independent base seed.
+fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `cases` instances of the property `f`, each with an independent
+/// deterministic generator. On failure the panic is re-raised annotated
+/// with the case index and seed so it can be replayed with
+/// [`run_seed`].
+pub fn run_cases(name: &str, cases: u64, mut f: impl FnMut(&mut Gen)) {
+    let base = name_seed(name);
+    for case in 0..cases {
+        let seed = base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut g = Gen::new(seed);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&mut g))) {
+            eprintln!("property `{name}` failed at case {case}/{cases} (replay: run_seed({name:?}, {seed:#x}))");
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Replay a single failing case of a property by seed.
+pub fn run_seed(_name: &str, seed: u64, mut f: impl FnMut(&mut Gen)) {
+    let mut g = Gen::new(seed);
+    f(&mut g);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = Vec::new();
+        run_cases("det", 5, |g| a.push(g.u64()));
+        let mut b = Vec::new();
+        run_cases("det", 5, |g| b.push(g.u64()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        run_cases("ranges", 50, |g| {
+            assert!((3..9).contains(&g.usize_in(3..9)));
+            assert!((100..200).contains(&g.u64_in(100..200)));
+        });
+    }
+
+    #[test]
+    fn weighted_hits_every_arm() {
+        let mut seen = [false; 3];
+        run_cases("weighted", 200, |g| {
+            seen[g.weighted(&[4, 2, 1])] = true;
+        });
+        assert!(seen.iter().all(|&s| s), "arms hit: {seen:?}");
+    }
+
+    #[test]
+    fn failure_reports_case() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run_cases("always-fails", 3, |_| panic!("boom"));
+        }));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn vec_of_lengths_in_range() {
+        run_cases("vec-of", 40, |g| {
+            let v = g.vec_of(1..7, Gen::u8);
+            assert!((1..7).contains(&v.len()));
+        });
+    }
+}

@@ -12,6 +12,7 @@ use crate::demand::Demand;
 use crate::plan::{BarrierId, Plan};
 use crate::resource::{Pending, ResourceId, ResourceSlot, ResourceStats, ServiceModel};
 use crate::time::{SimDuration, SimTime};
+use crate::validate::{lint_jobs, lint_plan, PlanContext, PlanError, Strictness};
 
 /// Opaque handle to a spawned foreground job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -167,7 +168,11 @@ impl Engine {
     }
 
     /// Register a resource with a service model; returns its handle.
-    pub fn add_resource(&mut self, name: impl Into<String>, model: Box<dyn ServiceModel>) -> ResourceId {
+    pub fn add_resource(
+        &mut self,
+        name: impl Into<String>,
+        model: Box<dyn ServiceModel>,
+    ) -> ResourceId {
         let id = ResourceId(u32::try_from(self.resources.len()).expect("too many resources"));
         self.resources.push(ResourceSlot::new(name.into(), model));
         id
@@ -177,11 +182,45 @@ impl Engine {
     /// participants must be declared before any task waits on it.
     pub fn register_barrier(&mut self, id: BarrierId, participants: usize) {
         assert!(participants > 0, "barrier needs at least one participant");
-        let prev = self.barriers.insert(
-            id,
-            BarrierState { needed: participants, waiting: Vec::new(), cycles: 0 },
-        );
+        let prev = self
+            .barriers
+            .insert(id, BarrierState { needed: participants, waiting: Vec::new(), cycles: 0 });
         assert!(prev.is_none(), "barrier {id:?} registered twice");
+    }
+
+    /// The validation context implied by this engine's registered
+    /// resources and barriers.
+    pub fn plan_context(&self) -> PlanContext {
+        PlanContext {
+            resources: self.resources.len(),
+            // det-ok: collected into another map, order cannot be observed.
+            barriers: self.barriers.iter().map(|(&id, b)| (id, b.needed)).collect(),
+        }
+    }
+
+    /// Statically validate a plan against this engine: rejects unknown
+    /// resources, unregistered barriers, barriers inside `Background`
+    /// subtrees, empty `Seq`/`Par` combinators and zero-byte transfer
+    /// demands. Returns every defect found, not just the first.
+    pub fn validate(&self, plan: &Plan) -> Result<(), Vec<PlanError>> {
+        let errs = lint_plan(plan, &self.plan_context(), Strictness::Strict);
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs)
+        }
+    }
+
+    /// Validate a whole job set before spawning: every plan individually
+    /// (strict) plus cross-job barrier participant accounting — the class
+    /// of defect that silently deadlocks [`Engine::run`].
+    pub fn validate_jobs(&self, plans: &[Plan]) -> Result<(), Vec<PlanError>> {
+        let errs = lint_jobs(plans, &self.plan_context());
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs)
+        }
     }
 
     /// Spawn a foreground job whose plan becomes runnable immediately.
@@ -191,8 +230,18 @@ impl Engine {
 
     /// Spawn a foreground job that becomes runnable at `start` (must not be
     /// in the past).
+    ///
+    /// Debug builds statically validate the plan's structural soundness
+    /// (unknown resources, unregistered barriers, detached barrier
+    /// waiters) before accepting it; call [`Engine::validate`] for the
+    /// full strict lint.
     pub fn spawn_job_at(&mut self, label: impl Into<String>, start: SimTime, plan: Plan) -> JobId {
         assert!(start >= self.now, "cannot start a job in the past");
+        #[cfg(debug_assertions)]
+        {
+            let errs = lint_plan(&plan, &self.plan_context(), Strictness::Structural);
+            assert!(errs.is_empty(), "structurally invalid plan: {errs:?}");
+        }
         let job = JobId(u32::try_from(self.jobs.len()).expect("too many jobs"));
         self.jobs.push(JobRecord { label: label.into(), start, end: None });
         self.live_foreground += 1;
@@ -235,9 +284,10 @@ impl Engine {
 
     /// Iterate over `(id, name, stats)` for every resource.
     pub fn resources(&self) -> impl Iterator<Item = (ResourceId, &str, &ResourceStats)> {
-        self.resources.iter().enumerate().map(|(i, slot)| {
-            (ResourceId(i as u32), slot.name.as_str(), &slot.stats)
-        })
+        self.resources
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| (ResourceId(i as u32), slot.name.as_str(), &slot.stats))
     }
 
     /// Number of completed cycles of a registered barrier.
@@ -251,7 +301,13 @@ impl Engine {
         self.events.push(Reverse(Event { time, seq, kind }));
     }
 
-    fn new_task(&mut self, plan: Plan, parent: Option<TaskId>, job: Option<JobId>, detached: bool) -> TaskId {
+    fn new_task(
+        &mut self,
+        plan: Plan,
+        parent: Option<TaskId>,
+        job: Option<JobId>,
+        detached: bool,
+    ) -> TaskId {
         self.live_total += 1;
         let task = Task {
             frames: vec![Frame::Seq(vec![plan].into_iter())],
@@ -351,9 +407,7 @@ impl Engine {
             }
         }
         if let Some(parent) = task.parent {
-            let p = self.tasks[parent.0 as usize]
-                .as_mut()
-                .expect("parent died before child");
+            let p = self.tasks[parent.0 as usize].as_mut().expect("parent died before child");
             p.join_remaining -= 1;
             if p.join_remaining == 0 {
                 self.advance(parent);
@@ -419,16 +473,12 @@ impl Engine {
 
     fn diagnose_stall(&self) -> String {
         let mut waiting_barrier = 0usize;
+        // det-ok: commutative sum, iteration order cannot be observed.
         for b in self.barriers.values() {
             waiting_barrier += b.waiting.len();
         }
         let live = self.tasks.iter().filter(|t| t.is_some()).count();
-        let detached = self
-            .tasks
-            .iter()
-            .flatten()
-            .filter(|t| t.detached)
-            .count();
+        let detached = self.tasks.iter().flatten().filter(|t| t.detached).count();
         format!(
             "{live} live tasks ({} foreground jobs unfinished, {detached} detached), \
              {waiting_barrier} parked on barriers (a barrier's participant count probably \
@@ -502,10 +552,7 @@ mod tests {
     fn background_does_not_gate_job_but_gates_run() {
         let mut e = Engine::new();
         let r = e.add_resource("disk", Box::new(FixedRate::per_op(SimDuration::ZERO)));
-        e.spawn_job(
-            "j",
-            seq(vec![use_res(r, busy(10)), background(use_res(r, busy(1000)))]),
-        );
+        e.spawn_job("j", seq(vec![use_res(r, busy(10)), background(use_res(r, busy(1000)))]));
         let rep = e.run().unwrap();
         assert_eq!(e.jobs()[0].latency(), SimDuration::from_micros(10));
         assert_eq!(rep.foreground_end, SimTime(10_000));
@@ -520,7 +567,11 @@ mod tests {
         // read then queues behind it.
         e.spawn_job(
             "j",
-            seq(vec![background(use_res(r, busy(50))), delay(SimDuration::from_micros(1)), use_res(r, busy(10))]),
+            seq(vec![
+                background(use_res(r, busy(50))),
+                delay(SimDuration::from_micros(1)),
+                use_res(r, busy(10)),
+            ]),
         );
         e.run().unwrap();
         assert_eq!(e.jobs()[0].latency(), SimDuration::from_micros(60));

@@ -37,12 +37,14 @@
 //! assert!(report.end.as_secs_f64() > 0.0);
 //! ```
 
+pub mod check;
 pub mod demand;
 pub mod engine;
 pub mod plan;
 pub mod resource;
 pub mod rng;
 pub mod time;
+pub mod validate;
 
 pub use demand::Demand;
 pub use engine::{DeadlockError, Engine, JobId, JobRecord, RunReport, TaskId};
@@ -50,3 +52,4 @@ pub use plan::{BarrierId, Plan};
 pub use resource::{FixedRate, ResourceId, ResourceStats, ServiceModel};
 pub use rng::SplitMix64;
 pub use time::{SimDuration, SimTime};
+pub use validate::{PlanContext, PlanError, Strictness};

@@ -49,10 +49,9 @@ impl Plan {
     /// background), useful for sanity-checking workload construction.
     pub fn disk_bytes(&self) -> u64 {
         match self {
-            Plan::Use { demand, .. }
-                if (demand.is_disk_read() || demand.is_disk_write()) => {
-                    demand.bytes()
-                }
+            Plan::Use { demand, .. } if (demand.is_disk_read() || demand.is_disk_write()) => {
+                demand.bytes()
+            }
             Plan::Seq(v) | Plan::Par(v) => v.iter().map(Plan::disk_bytes).sum(),
             Plan::Background(p) => p.disk_bytes(),
             _ => 0,

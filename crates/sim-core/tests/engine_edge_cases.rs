@@ -23,11 +23,7 @@ fn background_inside_par_does_not_gate_the_join() {
     let r = e.add_resource("r", Box::new(FixedRate::per_op(SimDuration::ZERO)));
     e.spawn_job(
         "j",
-        par(vec![
-            use_res(r, busy(10)),
-            background(use_res(r, busy(1000))),
-            use_res(r, busy(10)),
-        ]),
+        par(vec![use_res(r, busy(10)), background(use_res(r, busy(1000))), use_res(r, busy(10))]),
     );
     let rep = e.run().unwrap();
     // Foreground: two 10us ops serialized = 20us; background continues.
@@ -40,27 +36,40 @@ fn nested_background_drains() {
     let mut e = Engine::new();
     let r = e.add_resource("r", Box::new(FixedRate::per_op(SimDuration::ZERO)));
     // Background spawning more background work.
-    e.spawn_job(
-        "j",
-        background(seq(vec![use_res(r, busy(5)), background(use_res(r, busy(7)))])),
-    );
+    e.spawn_job("j", background(seq(vec![use_res(r, busy(5)), background(use_res(r, busy(7)))])));
     let rep = e.run().unwrap();
     assert_eq!(rep.end, SimTime(12_000));
     assert_eq!(e.jobs()[0].latency(), SimDuration::ZERO);
 }
 
 #[test]
-fn barrier_from_background_task_participates() {
+fn barrier_inside_background_is_rejected() {
+    // A detached task parked on a barrier silently alters the barrier's
+    // participant accounting (it used to be allowed and was a reliable
+    // source of deadlocks); the plan linter now rejects the shape before
+    // any event fires.
     let mut e = Engine::new();
     let bid = BarrierId(3);
     e.register_barrier(bid, 2);
-    // One foreground job waits at the barrier; a detached task releases it.
-    e.spawn_job(
-        "fg",
-        seq(vec![background(seq(vec![delay(SimDuration::from_micros(50)), barrier(bid)])), barrier(bid)]),
+    let plan = seq(vec![
+        background(seq(vec![delay(SimDuration::from_micros(50)), barrier(bid)])),
+        barrier(bid),
+    ]);
+    let errs = e.validate(&plan).unwrap_err();
+    assert!(
+        errs.iter().any(|x| matches!(x, sim_core::PlanError::BarrierInBackground { .. })),
+        "{errs:?}"
     );
-    let rep = e.run().unwrap();
-    assert_eq!(rep.foreground_end, SimTime(50_000));
+}
+
+#[test]
+#[cfg(debug_assertions)]
+#[should_panic(expected = "structurally invalid plan")]
+fn spawning_barrier_inside_background_asserts() {
+    let mut e = Engine::new();
+    let bid = BarrierId(3);
+    e.register_barrier(bid, 2);
+    e.spawn_job("fg", seq(vec![background(barrier(bid)), barrier(bid)]));
 }
 
 #[test]
@@ -89,13 +98,11 @@ fn deep_nesting_survives() {
 #[test]
 fn wide_fanout_is_linear_not_quadratic() {
     let mut e = Engine::new();
-    let rs: Vec<_> =
-        (0..64).map(|i| e.add_resource(format!("r{i}"), Box::new(FixedRate::per_op(SimDuration::ZERO)))).collect();
+    let rs: Vec<_> = (0..64)
+        .map(|i| e.add_resource(format!("r{i}"), Box::new(FixedRate::per_op(SimDuration::ZERO))))
+        .collect();
     // 4096 parallel leaves spread over 64 resources.
-    e.spawn_job(
-        "wide",
-        par((0..4096).map(|i| use_res(rs[i % 64], busy(1))).collect()),
-    );
+    e.spawn_job("wide", par((0..4096).map(|i| use_res(rs[i % 64], busy(1))).collect()));
     let rep = e.run().unwrap();
     // 64 ops per resource, 1us each, all resources in parallel.
     assert_eq!(rep.end, SimTime(64_000));
@@ -137,11 +144,22 @@ fn spawning_in_the_past_panics() {
 }
 
 #[test]
-#[should_panic(expected = "not registered")]
-fn unregistered_barrier_panics() {
+#[cfg(debug_assertions)]
+#[should_panic(expected = "structurally invalid plan")]
+fn unregistered_barrier_rejected_at_spawn() {
     let mut e = Engine::new();
     e.spawn_job("x", barrier(BarrierId(99)));
-    let _ = e.run();
+}
+
+#[test]
+fn unregistered_barrier_fails_validation() {
+    let e = Engine::new();
+    let errs = e.validate(&barrier(BarrierId(99))).unwrap_err();
+    assert!(
+        errs.iter()
+            .any(|x| matches!(x, sim_core::PlanError::UnregisteredBarrier { id: BarrierId(99) })),
+        "{errs:?}"
+    );
 }
 
 #[test]

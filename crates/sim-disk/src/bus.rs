@@ -65,9 +65,8 @@ mod tests {
             par((0..3).map(|_| use_res(bus, Demand::BusXfer { bytes: 1 << 20 })).collect()),
         );
         let rep = e.run().unwrap();
-        let expect = (SimDuration::from_micros(50)
-            + SimDuration::for_bytes(1 << 20, 20_000_000))
-            * 3;
+        let expect =
+            (SimDuration::from_micros(50) + SimDuration::for_bytes(1 << 20, 20_000_000)) * 3;
         assert_eq!(rep.end.since(SimTime::ZERO), expect);
     }
 

@@ -103,9 +103,7 @@ impl ServiceModel for DiskModel {
             SchedPolicy::Sstf => pending
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, d)| {
-                    Self::offset_of(d).map_or(0, |off| off.abs_diff(self.head))
-                })
+                .min_by_key(|(_, d)| Self::offset_of(d).map_or(0, |off| off.abs_diff(self.head)))
                 .map_or(0, |(i, _)| i),
             SchedPolicy::Elevator => {
                 // Nearest request in the sweep direction; if none, reverse.
@@ -189,7 +187,9 @@ mod tests {
     fn rotational_latency_bounded_by_one_revolution() {
         let mut m = model();
         let spec = m.spec().clone();
-        let worst = spec.command_overhead + spec.seek_max + spec.rotation_time()
+        let worst = spec.command_overhead
+            + spec.seek_max
+            + spec.rotation_time()
             + SimDuration::for_bytes(4096, spec.media_rate);
         for i in 0..500u64 {
             let off = (i * 997) % (spec.capacity / 2) * 2; // scattered
@@ -203,9 +203,7 @@ mod tests {
     fn determinism_per_seed() {
         let run = |seed: u64| {
             let mut m = DiskModel::new(DiskSpec::classic_scsi(), seed);
-            (0..100u64)
-                .map(|i| read(&mut m, (i * 7919) % (1 << 30), 8192).as_nanos())
-                .sum::<u64>()
+            (0..100u64).map(|i| read(&mut m, (i * 7919) % (1 << 30), 8192).as_nanos()).sum::<u64>()
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2));
@@ -242,8 +240,8 @@ mod tests {
     fn elevator_sweeps_then_reverses() {
         let mut m = with_policy(SchedPolicy::Elevator);
         read(&mut m, 1 << 30, 4096); // head ~1 GB, sweeping up
-        // Requests above and below the head: the sweep picks the nearest
-        // *above* first.
+                                     // Requests above and below the head: the sweep picks the nearest
+                                     // *above* first.
         let q = [rd(0), rd(2 << 30), rd(3 << 30)];
         let refs: Vec<&Demand> = q.iter().collect();
         assert_eq!(m.select_next(&refs), 1);
@@ -266,12 +264,17 @@ mod tests {
             let mut e = Engine::new();
             let d = e.add_resource("disk", Box::new(DiskModel::new(spec, 7)));
             // Interleaved far/near offsets (worst case for FCFS).
-            let offs =
-                [0u64, 3 << 30, 4096, (3 << 30) + 4096, 8192, (3 << 30) + 8192, 12288, (3 << 30) + 12288];
-            e.spawn_job(
-                "batch",
-                par(offs.iter().map(|&o| use_res(d, rd(o))).collect()),
-            );
+            let offs = [
+                0u64,
+                3 << 30,
+                4096,
+                (3 << 30) + 4096,
+                8192,
+                (3 << 30) + 8192,
+                12288,
+                (3 << 30) + 12288,
+            ];
+            e.spawn_job("batch", par(offs.iter().map(|&o| use_res(d, rd(o))).collect()));
             e.run().unwrap().end.as_secs_f64()
         };
         let fcfs = run(SchedPolicy::Fcfs);

@@ -25,8 +25,18 @@ pub struct NetPath {
 
 impl NetPath {
     /// A remote path crossing both hosts and both ports.
-    pub fn remote(src_cpu: ResourceId, src_tx: ResourceId, dst_rx: ResourceId, dst_cpu: ResourceId) -> Self {
-        NetPath { src_cpu: Some(src_cpu), src_tx: Some(src_tx), dst_rx: Some(dst_rx), dst_cpu: Some(dst_cpu) }
+    pub fn remote(
+        src_cpu: ResourceId,
+        src_tx: ResourceId,
+        dst_rx: ResourceId,
+        dst_cpu: ResourceId,
+    ) -> Self {
+        NetPath {
+            src_cpu: Some(src_cpu),
+            src_tx: Some(src_tx),
+            dst_rx: Some(dst_rx),
+            dst_cpu: Some(dst_cpu),
+        }
     }
 
     /// A node-local path: data never touches the wire, only the local CPU.
@@ -102,7 +112,8 @@ mod tests {
     fn two_nodes() -> Net {
         let spec = NetSpec::fast_ethernet();
         let mut e = Engine::new();
-        let cpu_model = || FixedRate { per_op: spec.sw_per_message, bytes_per_sec: spec.sw_copy_rate };
+        let cpu_model =
+            || FixedRate { per_op: spec.sw_per_message, bytes_per_sec: spec.sw_copy_rate };
         let nic_model = || FixedRate::rate(spec.link_rate);
         let cpu0 = e.add_resource("cpu0", Box::new(cpu_model()));
         let tx0 = e.add_resource("tx0", Box::new(nic_model()));

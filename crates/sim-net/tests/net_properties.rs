@@ -18,7 +18,7 @@ fn two_nodes(spec: &NetSpec) -> (Engine, NetPath) {
 fn goodput(spec: &NetSpec, bytes: u64) -> f64 {
     let (mut e, path) = two_nodes(spec);
     e.spawn_job("x", transfer_plan(spec, &path, bytes));
-    let rep = e.run().unwrap();
+    let rep = e.run().expect("sim run failed");
     bytes as f64 / rep.end.as_secs_f64()
 }
 
@@ -113,8 +113,5 @@ fn duplex_ports_overlap_opposite_directions() {
     e.spawn_job("ba", transfer_plan(&spec, &ba, bytes));
     let both = e.run().unwrap().end.as_secs_f64();
     let single = bytes as f64 / goodput(&spec, bytes);
-    assert!(
-        both < 1.4 * single,
-        "duplex run {both:.3}s vs single-direction {single:.3}s"
-    );
+    assert!(both < 1.4 * single, "duplex run {both:.3}s vs single-direction {single:.3}s");
 }

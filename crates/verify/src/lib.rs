@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! # raidx-verify — static analysis and invariant verification
+//!
+//! Four offline passes that check the reproduction's correctness
+//! properties *before and between* simulations, independently of the unit
+//! tests:
+//!
+//! 1. [`plan_lint`] — walks the [`sim_core::Plan`] DAGs that the real I/O
+//!    engines emit and rejects shapes that would panic or deadlock the
+//!    event loop (unknown resources, unregistered barriers, barriers
+//!    inside detached subtrees) plus hygiene defects (empty combinators,
+//!    zero-byte transfers).
+//! 2. [`lock_order`] — replays a recorded [`cdd::LockEvent`] trace and
+//!    reports double grants, releases without a matching grant, leaked
+//!    lock groups, and cycles in the block-range acquisition order
+//!    (potential distributed deadlock).
+//! 3. [`layout_check`] — exhaustively verifies the OSM placement rule,
+//!    the RAID-5 left-symmetric parity rotation, RAID-10 mirror
+//!    disjointness and the chained-declustering neighbor rule across a
+//!    sweep of (n, k) array shapes.
+//! 4. [`determinism`] + [`source_scan`] — runs the same seeded cluster
+//!    workload twice and fingerprints the event traces (they must be
+//!    bit-identical), and greps the crate sources for nondeterminism
+//!    hazards (wall clocks, OS randomness, unordered map iteration in
+//!    simulation paths).
+//!
+//! Every pass is a library API first; `cargo run -p bench --bin
+//! verify_all` drives all four and exits non-zero on any finding.
+
+pub mod determinism;
+pub mod layout_check;
+pub mod lock_order;
+pub mod plan_lint;
+pub mod report;
+pub mod source_scan;
+
+pub use determinism::{audit_workload, engine_fingerprint, DeterminismReport};
+pub use layout_check::{conformance_sweep, SweepRow};
+pub use lock_order::{analyze_lock_trace, LockAuditReport, LockDefect};
+pub use plan_lint::lint_io_paths;
+pub use report::{Check, PassReport};

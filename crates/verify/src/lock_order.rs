@@ -1,0 +1,325 @@
+//! Pass 2 — lock-order analysis over recorded grant/release traces.
+//!
+//! The consistency modules serialize writers through block-range lock
+//! groups ([`cdd::LockGroupTable`]). A trace of its grants and releases
+//! (recorded via [`cdd::IoSystem::enable_lock_trace`]) is replayed here
+//! against three invariants:
+//!
+//! * a slot is never granted twice without an intervening release
+//!   (double grant — table corruption);
+//! * every release matches a live grant (no release-without-grant);
+//! * every grant is eventually released (no leaked groups at trace end);
+//!
+//! plus the classic ordering property: the *range acquisition order* must
+//! be acyclic. If client A acquires range R1 then R2 while holding R1,
+//! and client B acquires R2 then R1, the order graph has a cycle — the
+//! timing that interleaves them deadlocks the real (distributed) protocol
+//! even though the serialized replay happens to finish.
+
+use cdd::LockEvent;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A contiguous block range, the node of the ordering graph.
+pub type Range = (u64, u64);
+
+/// A defect found in a lock trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockDefect {
+    /// A slot was granted again while its previous grant was still live.
+    DoubleGrant {
+        /// The corrupted slot.
+        slot: usize,
+        /// Holder of the still-live grant.
+        first_owner: usize,
+        /// Owner of the conflicting second grant.
+        second_owner: usize,
+    },
+    /// A release arrived for a slot with no live grant.
+    ReleaseWithoutGrant {
+        /// The releasing client.
+        owner: usize,
+        /// The slot it tried to release.
+        slot: usize,
+    },
+    /// A grant was still live when the trace ended.
+    LeakedGroup {
+        /// Holder of the leaked grant.
+        owner: usize,
+        /// First block of the leaked range.
+        start: u64,
+        /// Length of the leaked range.
+        len: u64,
+    },
+    /// The range acquisition order contains a cycle (potential deadlock).
+    OrderCycle {
+        /// The ranges along the cycle, ending where it started.
+        cycle: Vec<Range>,
+    },
+}
+
+impl std::fmt::Display for LockDefect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockDefect::DoubleGrant { slot, first_owner, second_owner } => write!(
+                f,
+                "slot {slot} granted to node {second_owner} while node {first_owner} holds it"
+            ),
+            LockDefect::ReleaseWithoutGrant { owner, slot } => {
+                write!(f, "node {owner} released slot {slot} with no live grant")
+            }
+            LockDefect::LeakedGroup { owner, start, len } => {
+                write!(f, "node {owner} never released [{start}, {})", start + len)
+            }
+            LockDefect::OrderCycle { cycle } => {
+                let path = cycle
+                    .iter()
+                    .map(|(s, l)| format!("[{s},{})", s + l))
+                    .collect::<Vec<_>>()
+                    .join(" -> ");
+                write!(f, "cyclic acquisition order: {path}")
+            }
+        }
+    }
+}
+
+/// Outcome of replaying one trace.
+#[derive(Debug, Clone, Default)]
+pub struct LockAuditReport {
+    /// Events replayed.
+    pub events: usize,
+    /// Grants seen.
+    pub grants: usize,
+    /// Conflicts seen (not defects — the table refused them correctly).
+    pub conflicts: usize,
+    /// Edges in the range-ordering graph.
+    pub order_edges: usize,
+    /// Defects found, in detection order.
+    pub defects: Vec<LockDefect>,
+}
+
+impl LockAuditReport {
+    /// True when the trace is defect-free.
+    pub fn clean(&self) -> bool {
+        self.defects.is_empty()
+    }
+}
+
+/// Replay `events` and audit the invariants described in the module docs.
+pub fn analyze_lock_trace(events: &[LockEvent]) -> LockAuditReport {
+    let mut report = LockAuditReport { events: events.len(), ..Default::default() };
+    // Live grants, slot -> (owner, range).
+    let mut live: BTreeMap<usize, (usize, Range)> = BTreeMap::new();
+    // Range-ordering graph: held range -> ranges acquired while holding it.
+    let mut edges: BTreeMap<Range, BTreeSet<Range>> = BTreeMap::new();
+    for ev in events {
+        match *ev {
+            LockEvent::Grant { owner, start, len, slot } => {
+                report.grants += 1;
+                let range = (start, len);
+                for (_, &(held_owner, held)) in live.iter() {
+                    if held_owner == owner && held != range {
+                        edges.entry(held).or_default().insert(range);
+                    }
+                }
+                if let Some(&(first_owner, _)) = live.get(&slot) {
+                    report.defects.push(LockDefect::DoubleGrant {
+                        slot,
+                        first_owner,
+                        second_owner: owner,
+                    });
+                }
+                live.insert(slot, (owner, range));
+            }
+            LockEvent::Release { owner, slot } => {
+                if live.remove(&slot).is_none() {
+                    report.defects.push(LockDefect::ReleaseWithoutGrant { owner, slot });
+                }
+            }
+            LockEvent::Conflict { .. } => report.conflicts += 1,
+        }
+    }
+    for (_, (owner, (start, len))) in live {
+        report.defects.push(LockDefect::LeakedGroup { owner, start, len });
+    }
+    report.order_edges = edges.values().map(BTreeSet::len).sum();
+    if let Some(cycle) = find_cycle(&edges) {
+        report.defects.push(LockDefect::OrderCycle { cycle });
+    }
+    report
+}
+
+/// Depth-first search for a cycle in the ordering graph; returns the
+/// cycle path (closed: first node repeated at the end) if one exists.
+fn find_cycle(edges: &BTreeMap<Range, BTreeSet<Range>>) -> Option<Vec<Range>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        Open,
+        Done,
+    }
+    let mut marks: BTreeMap<Range, Mark> = BTreeMap::new();
+    let mut stack: Vec<Range> = Vec::new();
+
+    fn visit(
+        node: Range,
+        edges: &BTreeMap<Range, BTreeSet<Range>>,
+        marks: &mut BTreeMap<Range, Mark>,
+        stack: &mut Vec<Range>,
+    ) -> Option<Vec<Range>> {
+        marks.insert(node, Mark::Open);
+        stack.push(node);
+        if let Some(next) = edges.get(&node) {
+            for &n in next {
+                match marks.get(&n) {
+                    Some(Mark::Open) => {
+                        // Found: slice the stack from the first occurrence.
+                        let pos = stack.iter().position(|&r| r == n).unwrap_or(0);
+                        let mut cycle = stack[pos..].to_vec();
+                        cycle.push(n);
+                        return Some(cycle);
+                    }
+                    Some(Mark::Done) => {}
+                    None => {
+                        if let Some(c) = visit(n, edges, marks, stack) {
+                            return Some(c);
+                        }
+                    }
+                }
+            }
+        }
+        stack.pop();
+        marks.insert(node, Mark::Done);
+        None
+    }
+
+    for &node in edges.keys() {
+        if !marks.contains_key(&node) {
+            if let Some(c) = visit(node, edges, &mut marks, &mut stack) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grant(owner: usize, start: u64, len: u64, slot: usize) -> LockEvent {
+        LockEvent::Grant { owner, start, len, slot }
+    }
+
+    fn release(owner: usize, slot: usize) -> LockEvent {
+        LockEvent::Release { owner, slot }
+    }
+
+    #[test]
+    fn clean_trace_passes() {
+        let trace = vec![
+            grant(0, 0, 10, 0),
+            release(0, 0),
+            grant(1, 0, 10, 0),
+            LockEvent::Conflict { owner: 2, holder: 1, start: 5, len: 1 },
+            release(1, 0),
+        ];
+        let r = analyze_lock_trace(&trace);
+        assert!(r.clean(), "{:?}", r.defects);
+        assert_eq!(r.grants, 2);
+        assert_eq!(r.conflicts, 1);
+    }
+
+    #[test]
+    fn double_grant_detected() {
+        let trace = vec![grant(0, 0, 10, 0), grant(1, 20, 10, 0), release(1, 0)];
+        let r = analyze_lock_trace(&trace);
+        assert!(r.defects.iter().any(|d| matches!(
+            d,
+            LockDefect::DoubleGrant { slot: 0, first_owner: 0, second_owner: 1 }
+        )));
+    }
+
+    #[test]
+    fn release_without_grant_detected() {
+        let r = analyze_lock_trace(&[release(3, 9)]);
+        assert_eq!(r.defects, vec![LockDefect::ReleaseWithoutGrant { owner: 3, slot: 9 }]);
+    }
+
+    #[test]
+    fn leaked_group_detected() {
+        let r = analyze_lock_trace(&[grant(2, 100, 5, 0)]);
+        assert_eq!(r.defects, vec![LockDefect::LeakedGroup { owner: 2, start: 100, len: 5 }]);
+    }
+
+    /// The seeded deadlock: node 0 takes A then B (holding A), node 1
+    /// takes B then A (holding B). Serialized it completes; the order
+    /// graph still has the A->B->A cycle.
+    #[test]
+    fn cyclic_acquisition_order_detected() {
+        let a = (0u64, 10u64);
+        let b = (100u64, 10u64);
+        let trace = vec![
+            grant(0, a.0, a.1, 0),
+            grant(0, b.0, b.1, 1), // 0 holds A, acquires B: edge A -> B
+            release(0, 1),
+            release(0, 0),
+            grant(1, b.0, b.1, 0),
+            grant(1, a.0, a.1, 1), // 1 holds B, acquires A: edge B -> A
+            release(1, 1),
+            release(1, 0),
+        ];
+        let r = analyze_lock_trace(&trace);
+        assert_eq!(r.order_edges, 2);
+        let cycle = r.defects.iter().find_map(|d| match d {
+            LockDefect::OrderCycle { cycle } => Some(cycle.clone()),
+            _ => None,
+        });
+        let cycle = cycle.expect("cycle not found");
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(cycle.contains(&a) && cycle.contains(&b));
+    }
+
+    /// Nested same-order acquisitions are fine: A then B everywhere.
+    #[test]
+    fn consistent_order_is_clean() {
+        let trace = vec![
+            grant(0, 0, 10, 0),
+            grant(0, 100, 10, 1),
+            release(0, 1),
+            release(0, 0),
+            grant(1, 0, 10, 0),
+            grant(1, 100, 10, 1),
+            release(1, 1),
+            release(1, 0),
+        ];
+        let r = analyze_lock_trace(&trace);
+        assert!(r.clean(), "{:?}", r.defects);
+        assert_eq!(r.order_edges, 1);
+    }
+
+    /// End-to-end: the trace recorded by a real `IoSystem` is clean.
+    #[test]
+    fn real_iosystem_trace_is_clean() {
+        use cdd::{CddConfig, IoSystem};
+        use cluster::ClusterConfig;
+        use raidx_core::Arch;
+        use sim_core::Engine;
+
+        let mut engine = Engine::new();
+        let mut cc = ClusterConfig::shape(4, 1);
+        cc.disk.capacity = 4 << 20;
+        let bs = cc.block_size as usize;
+        let mut sys = IoSystem::new(&mut engine, cc, Arch::RaidX, CddConfig::default());
+        sys.enable_lock_trace();
+        let buf = vec![0x5A; bs];
+        for client in 0..4 {
+            for blk in 0..8u64 {
+                sys.write(client, client as u64 * 8 + blk, &buf).expect("write");
+            }
+        }
+        let trace = sys.take_lock_trace();
+        assert!(!trace.is_empty());
+        let r = analyze_lock_trace(&trace);
+        assert!(r.clean(), "{:?}", r.defects);
+        assert_eq!(r.grants as u64, sys.lock_grants());
+    }
+}

@@ -1,0 +1,122 @@
+//! Pass 1 — static linting of the plans the real I/O engines emit.
+//!
+//! The unit tests in `sim_core::validate` cover the linter against
+//! hand-built plans; this pass closes the other half of the loop by
+//! running it over the *actual* plan DAGs produced by [`cdd::IoSystem`]
+//! for every architecture: healthy reads and writes (small and
+//! full-stripe), degraded reads, and rebuild plans. Any defect here means
+//! an I/O engine emits a plan the simulator could choke on.
+
+use cdd::{CddConfig, IoSystem};
+use cluster::ClusterConfig;
+use raidx_core::Arch;
+use sim_core::Engine;
+
+use crate::report::PassReport;
+
+fn check_plan(report: &mut PassReport, engine: &Engine, name: String, plan: &sim_core::Plan) {
+    match engine.validate(plan) {
+        Ok(()) => report.ok(name, format!("{} leaves", plan.leaf_count())),
+        Err(errs) => {
+            let detail = errs.iter().map(ToString::to_string).collect::<Vec<_>>().join("; ");
+            report.fail(name, detail);
+        }
+    }
+}
+
+/// Lint the plans emitted by every architecture's read, write and rebuild
+/// paths on a small cluster. Returns one check per (arch, operation).
+pub fn lint_io_paths() -> PassReport {
+    let mut report = PassReport::new("plan-lint");
+    for arch in Arch::ALL {
+        let mut engine = Engine::new();
+        let mut cc = ClusterConfig::shape(4, 2);
+        cc.disk.capacity = 4 << 20;
+        let bs = cc.block_size as usize;
+        let mut sys = IoSystem::new(&mut engine, cc, arch, CddConfig::default());
+        let name = sys.layout().name();
+        let stripe = sys.layout().stripe_width();
+
+        // Small write (one block) and full-stripe write.
+        let one = vec![0xAB; bs];
+        let full = vec![0xCD; bs * stripe];
+        match sys.write(1, 0, &one) {
+            Ok(p) => check_plan(&mut report, &engine, format!("{name} small write"), &p),
+            Err(e) => report.fail(format!("{name} small write"), e.to_string()),
+        }
+        match sys.write(2, stripe as u64, &full) {
+            Ok(p) => check_plan(&mut report, &engine, format!("{name} stripe write"), &p),
+            Err(e) => report.fail(format!("{name} stripe write"), e.to_string()),
+        }
+
+        // Healthy read over everything written so far.
+        let hw = sys.high_water();
+        match sys.read(3, 0, hw) {
+            Ok((_, p)) => check_plan(&mut report, &engine, format!("{name} read"), &p),
+            Err(e) => report.fail(format!("{name} read"), e.to_string()),
+        }
+
+        // Deferred image flush (RAID-x only produces one).
+        let flush = sys.flush_images();
+        if !matches!(flush, sim_core::Plan::Noop) {
+            check_plan(&mut report, &engine, format!("{name} image flush"), &flush);
+        }
+
+        // Degraded read + rebuild (skip RAID-0, which has no redundancy).
+        if sys.layout().guaranteed_fault_tolerance() > 0 {
+            sys.fail_disk(0);
+            match sys.read(1, 0, hw) {
+                Ok((_, p)) => check_plan(&mut report, &engine, format!("{name} degraded read"), &p),
+                Err(e) => report.fail(format!("{name} degraded read"), e.to_string()),
+            }
+            match sys.rebuild_disk(1, 0) {
+                Ok((p, _)) => check_plan(&mut report, &engine, format!("{name} rebuild"), &p),
+                Err(e) => report.fail(format!("{name} rebuild"), e.to_string()),
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::plan::{background, barrier, seq, use_res};
+    use sim_core::{BarrierId, Demand, PlanError};
+
+    #[test]
+    fn real_io_paths_are_clean() {
+        let report = lint_io_paths();
+        assert!(report.all_ok(), "\n{}", report.render());
+        // All four architectures actually got linted.
+        assert!(report.checks.len() >= 4 * 4, "\n{}", report.render());
+    }
+
+    /// The seeded-defect direction: a barrier parked inside a detached
+    /// subtree must be rejected by the engine-level validator.
+    #[test]
+    fn seeded_barrier_in_background_rejected() {
+        let mut e = Engine::new();
+        let disk = e.add_resource("disk0", Box::new(sim_core::FixedRate::rate(1 << 20)));
+        e.register_barrier(BarrierId(7), 2);
+        let bad = seq(vec![
+            use_res(disk, Demand::DiskWrite { offset: 0, bytes: 512 }),
+            background(seq(vec![barrier(BarrierId(7))])),
+        ]);
+        let errs = e.validate(&bad).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|x| matches!(x, PlanError::BarrierInBackground { id: BarrierId(7) })));
+    }
+
+    #[test]
+    fn seeded_unknown_resource_rejected() {
+        // Borrow a ResourceId from a donor engine; it is out of range for
+        // the fresh (resource-less) engine it is validated against.
+        let mut donor = Engine::new();
+        let foreign = donor.add_resource("disk", Box::new(sim_core::FixedRate::rate(1)));
+        let e = Engine::new();
+        let bad = use_res(foreign, Demand::DiskRead { offset: 0, bytes: 512 });
+        assert!(e.validate(&bad).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Shared pass/fail reporting for the verification passes.
+
+/// One named check inside a pass.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// What was checked (e.g. `"RAID-x 4x3 write plan"`).
+    pub name: String,
+    /// Did it hold?
+    pub ok: bool,
+    /// Failure detail, or a short summary for passing checks.
+    pub detail: String,
+}
+
+/// The outcome of one verification pass: a list of named checks.
+#[derive(Debug, Clone, Default)]
+pub struct PassReport {
+    /// Pass name (e.g. `"plan-lint"`).
+    pub pass: String,
+    /// Individual checks, in execution order.
+    pub checks: Vec<Check>,
+}
+
+impl PassReport {
+    /// An empty report for the named pass.
+    pub fn new(pass: impl Into<String>) -> Self {
+        PassReport { pass: pass.into(), checks: Vec::new() }
+    }
+
+    /// Record a passing check.
+    pub fn ok(&mut self, name: impl Into<String>, detail: impl Into<String>) {
+        self.checks.push(Check { name: name.into(), ok: true, detail: detail.into() });
+    }
+
+    /// Record a failing check.
+    pub fn fail(&mut self, name: impl Into<String>, detail: impl Into<String>) {
+        self.checks.push(Check { name: name.into(), ok: false, detail: detail.into() });
+    }
+
+    /// Record a check whose outcome is already known.
+    pub fn push(&mut self, name: impl Into<String>, ok: bool, detail: impl Into<String>) {
+        self.checks.push(Check { name: name.into(), ok, detail: detail.into() });
+    }
+
+    /// True when every check passed.
+    pub fn all_ok(&self) -> bool {
+        self.checks.iter().all(|c| c.ok)
+    }
+
+    /// Number of failing checks.
+    pub fn failures(&self) -> usize {
+        self.checks.iter().filter(|c| !c.ok).count()
+    }
+
+    /// Render the pass as a fixed-width table for terminal output.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let verdict = if self.all_ok() { "PASS" } else { "FAIL" };
+        let _ = writeln!(
+            out,
+            "== {} [{verdict}] ({}/{} checks ok)",
+            self.pass,
+            self.checks.len() - self.failures(),
+            self.checks.len()
+        );
+        let width = self.checks.iter().map(|c| c.name.len()).max().unwrap_or(0);
+        for c in &self.checks {
+            let mark = if c.ok { "ok  " } else { "FAIL" };
+            let _ = writeln!(out, "  {mark} {:width$}  {}", c.name, c.detail);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_tracks_failures() {
+        let mut r = PassReport::new("demo");
+        r.ok("a", "fine");
+        assert!(r.all_ok());
+        r.fail("b", "broken");
+        assert!(!r.all_ok());
+        assert_eq!(r.failures(), 1);
+        let text = r.render();
+        assert!(text.contains("demo [FAIL]"));
+        assert!(text.contains("FAIL b"));
+    }
+}

@@ -1,0 +1,302 @@
+//! Pass 4b — source-level nondeterminism hazard scan.
+//!
+//! The determinism auditor proves one workload replays bit-identically;
+//! this scanner hunts for the *sources* of future divergence in the
+//! simulation crates before they ever fire in a run:
+//!
+//! * wall clocks and OS entropy (`Instant::now`, `SystemTime`,
+//!   `thread_rng`, `rand::random`) — the simulator owns time and
+//!   randomness, nothing else may;
+//! * iteration over `HashMap`/`HashSet` bindings — iteration order is
+//!   randomized per process, so draining one into events, plans or error
+//!   lists silently breaks replay.
+//!
+//! A flagged line can be acknowledged with a `// det-ok:` comment on the
+//! line or the line above it (e.g. an error-path diagnostic where order
+//! is cosmetic); the scanner reports but does not count acknowledged
+//! sites. Test modules (from `#[cfg(test)]` onward) are skipped: tests
+//! assert determinism rather than provide it.
+
+use std::path::{Path, PathBuf};
+
+/// One hazardous line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hazard {
+    /// File the hazard is in (as given to the scanner).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What was matched (pattern name or `unordered iteration of `ident).
+    pub what: String,
+    /// The offending line, trimmed.
+    pub snippet: String,
+}
+
+impl std::fmt::Display for Hazard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {} — {}", self.file, self.line, self.what, self.snippet)
+    }
+}
+
+// Built with concat! so the scanner does not flag its own pattern table.
+const CLOCK_AND_ENTROPY: [&str; 5] = [
+    concat!("thread", "_rng"),
+    concat!("Instant", "::now"),
+    concat!("System", "Time"),
+    concat!("rand", "::random"),
+    concat!("random", "_state"),
+];
+
+const UNORDERED_TYPES: [&str; 2] = [concat!("Hash", "Map"), concat!("Hash", "Set")];
+
+const ITER_METHODS: [&str; 7] =
+    [".iter()", ".iter_mut()", ".values()", ".values_mut()", ".keys()", ".drain()", ".into_iter()"];
+
+/// Extract the identifier being bound on a line that declares an
+/// unordered-map value: `foo: HashMap<...>`, `let foo = HashMap::new()`,
+/// `let mut foo: HashSet<...>`.
+fn declared_ident(line: &str) -> Option<String> {
+    let pos = UNORDERED_TYPES.iter().filter_map(|t| line.find(t)).min()?;
+    let before = &line[..pos];
+    // The ident precedes the nearest `:` or `=` left of the type — but a
+    // `:` that is half of a `::` path separator (as in
+    // `std::collections::HashMap`) is part of the type path, not the
+    // binding separator, so skip those pairs while scanning right-to-left.
+    let b = before.as_bytes();
+    let mut sep = None;
+    let mut i = b.len();
+    while i > 0 {
+        i -= 1;
+        match b[i] {
+            b'=' => {
+                sep = Some(i);
+                break;
+            }
+            b':' if i > 0 && b[i - 1] == b':' => i -= 1, // skip `::`
+            b':' => {
+                sep = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let head = before[..sep?].trim_end();
+    let ident: String = head
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    let keyword = matches!(ident.as_str(), "" | "let" | "mut" | "pub" | "crate" | "self" | "fn");
+    (!keyword && !ident.chars().next().is_some_and(|c| c.is_numeric())).then_some(ident)
+}
+
+fn is_word_boundary(text: &str, start: usize) -> bool {
+    // `.` is allowed before: `self.pending.iter()` still iterates the
+    // tracked field `pending`.
+    start == 0
+        || !text[..start].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Does `line` iterate the tracked identifier `ident`?
+fn iterates(line: &str, ident: &str) -> bool {
+    for m in ITER_METHODS {
+        let call = format!("{ident}{m}");
+        let mut from = 0;
+        while let Some(off) = line[from..].find(&call) {
+            let at = from + off;
+            if is_word_boundary(line, at) {
+                return true;
+            }
+            from = at + 1;
+        }
+    }
+    // `for x in map` / `for (k, v) in &map` / `in &mut self.map`.
+    if let Some(pos) = line.find(" in ") {
+        let tail = line[pos + 4..].trim_start_matches(['&', ' ']).trim_start_matches("mut ");
+        let end = tail
+            .find(|c: char| !(c.is_alphanumeric() || c == '_' || c == '.'))
+            .unwrap_or(tail.len());
+        // Last path segment: `ctx.barriers` iterates `barriers`.
+        if tail[..end].split('.').next_back() == Some(ident) && !tail[end..].starts_with('(') {
+            return true;
+        }
+    }
+    false
+}
+
+/// Scan one file's text. `label` is used in the reported hazards.
+pub fn scan_source_text(label: &str, text: &str) -> Vec<Hazard> {
+    let mut hazards = Vec::new();
+    let mut tracked: Vec<String> = Vec::new();
+    let mut prev_ok = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.contains("#[cfg(test)]") {
+            break; // test modules sit at the bottom of each file
+        }
+        let acked = prev_ok || line.contains(concat!("det", "-ok"));
+        prev_ok = line.contains(concat!("det", "-ok"));
+        if line.starts_with("//") {
+            continue;
+        }
+        if let Some(ident) = declared_ident(line) {
+            if !tracked.contains(&ident) {
+                tracked.push(ident);
+            }
+        }
+        if acked {
+            continue;
+        }
+        for pat in CLOCK_AND_ENTROPY {
+            if line.contains(pat) {
+                hazards.push(Hazard {
+                    file: label.to_string(),
+                    line: i + 1,
+                    what: format!("forbidden call {pat}"),
+                    snippet: line.to_string(),
+                });
+            }
+        }
+        for ident in &tracked {
+            if iterates(line, ident) {
+                hazards.push(Hazard {
+                    file: label.to_string(),
+                    line: i + 1,
+                    what: format!("unordered iteration of `{ident}`"),
+                    snippet: line.to_string(),
+                });
+            }
+        }
+    }
+    hazards
+}
+
+/// Recursively scan every `.rs` file under `root` (skipping `tests/`,
+/// `benches/` and `target/` directories — those assert determinism, they
+/// do not implement it).
+pub fn scan_dir(root: &Path) -> std::io::Result<Vec<Hazard>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+    let mut hazards = Vec::new();
+    for f in files {
+        let text = std::fs::read_to_string(&f)?;
+        let label = f.strip_prefix(root).unwrap_or(&f).display().to_string();
+        hazards.extend(scan_source_text(&label, &text));
+    }
+    Ok(hazards)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "target" | "tests" | "benches" | ".git") {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_wall_clock_and_entropy() {
+        let src = "fn f() {\n    let t = Instant::now();\n    let r = rng.thread_rng();\n}\n";
+        let h = scan_source_text("x.rs", src);
+        assert_eq!(h.len(), 2, "{h:?}");
+        assert_eq!(h[0].line, 2);
+    }
+
+    #[test]
+    fn flags_hashmap_iteration() {
+        let src = "\
+struct S { pending: HashMap<u64, u32> }
+fn f(s: &S) {
+    for (k, v) in s.pending.iter() {
+        use_it(k, v);
+    }
+}
+";
+        let h = scan_source_text("x.rs", src);
+        assert_eq!(h.len(), 1, "{h:?}");
+        assert!(h[0].what.contains("pending"));
+    }
+
+    #[test]
+    fn flags_fully_qualified_declaration() {
+        let src = "\
+let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+for (k, v) in m.iter() {
+    use_it(k, v);
+}
+";
+        let h = scan_source_text("x.rs", src);
+        assert_eq!(h.len(), 1, "{h:?}");
+        assert!(h[0].what.contains("`m`"), "{h:?}");
+    }
+
+    #[test]
+    fn flags_for_in_over_tracked_binding() {
+        let src = "let seen = HashSet::new();\nfor d in &seen {\n    go(d);\n}\n";
+        let h = scan_source_text("x.rs", src);
+        assert_eq!(h.len(), 1, "{h:?}");
+    }
+
+    #[test]
+    fn det_ok_acknowledges() {
+        let src = "\
+let m: HashMap<u32, u32> = HashMap::new();
+// det-ok: error-path diagnostics, order is cosmetic
+for v in m.values() {
+    show(v);
+}
+";
+        assert!(scan_source_text("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn btreemap_untracked_and_lookups_clean() {
+        let src = "\
+let b: BTreeMap<u32, u32> = BTreeMap::new();
+let m: HashMap<u32, u32> = HashMap::new();
+for v in b.values() { show(v); }
+let x = m.get(&3);
+m.insert(1, 2);
+";
+        assert!(scan_source_text("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_modules_skipped() {
+        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn t() { Instant::now(); }\n}\n";
+        assert!(scan_source_text("x.rs", src).is_empty());
+    }
+
+    /// The real tree must be hazard-free (with its `det-ok`
+    /// acknowledgements) — the satellite gate that keeps future changes
+    /// honest.
+    #[test]
+    fn workspace_sources_are_clean() {
+        let crates = Path::new(env!("CARGO_MANIFEST_DIR")).parent().expect("crates dir");
+        let hazards = scan_dir(crates).expect("scan");
+        assert!(
+            hazards.is_empty(),
+            "{} hazards:\n{}",
+            hazards.len(),
+            hazards.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+        );
+    }
+}

@@ -54,7 +54,7 @@ impl Default for AndrewConfig {
 }
 
 /// Per-phase elapsed times in seconds.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct AndrewResult {
     /// Elapsed wall-clock (simulated) per phase.
     pub phase_secs: [f64; 5],
@@ -147,10 +147,7 @@ pub fn run_andrew<S: BlockStore>(
                     for (path, _) in manifest {
                         let (_, p) = fs.read_file(node, path)?;
                         ops.push(p);
-                        ops.push(use_res(
-                            fs.store().cpu_of(node),
-                            Demand::Busy(cfg.compile_cpu),
-                        ));
+                        ops.push(use_res(fs.store().cpu_of(node), Demand::Busy(cfg.compile_cpu)));
                     }
                     // Link step: one output object per directory.
                     for d in 0..cfg.dirs {

@@ -11,7 +11,7 @@ use cdd::{BlockStore, IoError};
 use sim_core::Engine;
 
 /// Latency distribution summary (seconds).
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct LatencyResult {
     /// Arithmetic mean.
     pub mean: f64,
@@ -67,11 +67,8 @@ pub fn measure_latency<S: BlockStore>(
         for c in 0..clients {
             let node = (c + 1) % nodes;
             let lb = c as u64 * region + r;
-            let plan = if writes {
-                store.write(node, lb, &payload)?
-            } else {
-                store.read(node, lb, 1)?.1
-            };
+            let plan =
+                if writes { store.write(node, lb, &payload)? } else { store.read(node, lb, 1)?.1 };
             engine.spawn_job(format!("lat/c{c}/r{r}"), plan);
         }
         engine.run().expect("latency round deadlocked");

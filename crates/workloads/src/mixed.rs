@@ -47,7 +47,7 @@ impl Default for MixedConfig {
 }
 
 /// Outcome of a mixed run.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct MixedResult {
     /// Completed operations per simulated second.
     pub ops_per_sec: f64,

@@ -14,7 +14,7 @@ use sim_core::plan::{barrier, seq};
 use sim_core::{BarrierId, Engine, Plan};
 
 /// The four access patterns of Figure 5.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IoPattern {
     /// Figure 5(a): 2 MB sequential read per client.
     LargeRead,
@@ -80,7 +80,7 @@ impl Default for ParallelIoConfig {
 }
 
 /// Result of one run.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct BandwidthResult {
     /// Aggregate foreground bandwidth in MB/s (decimal megabytes, as the
     /// paper reports).
@@ -154,13 +154,8 @@ pub fn run_parallel_io<S: BlockStore>(
         engine.spawn_job(format!("client{c}/{}", cfg.pattern.label()), seq(steps));
     }
     let report = engine.run().expect("benchmark deadlocked");
-    let latencies: f64 = engine
-        .jobs()
-        .iter()
-        .rev()
-        .take(clients)
-        .map(|j| j.latency().as_secs_f64())
-        .sum();
+    let latencies: f64 =
+        engine.jobs().iter().rev().take(clients).map(|j| j.latency().as_secs_f64()).sum();
     // Drain any write-behind image groups still buffered (outside the
     // foreground window, like the CDD's idle-time flusher).
     let flush = store.flush();

@@ -61,7 +61,7 @@ fn main() {
     for (p, plan) in restore_plans.into_iter().enumerate() {
         engine.spawn_job(format!("restore/p{p}"), plan);
     }
-    engine.run().unwrap();
+    engine.run().expect("demo step failed");
     println!(
         "all {} checkpoints verified and restored in {} (degraded reads via OSM images)",
         cfg.processes,

@@ -51,9 +51,5 @@ fn main() {
     // Failure coverage demo: one failure per row is survivable.
     let one_per_row: Vec<usize> = (0..k).map(|r| r * n + (r % n)).collect();
     let fs = FaultSet::of(&one_per_row);
-    println!(
-        "  - failing disks {:?} (one per row): tolerated = {}",
-        one_per_row,
-        l.tolerates(&fs)
-    );
+    println!("  - failing disks {:?} (one per row): tolerated = {}", one_per_row, l.tolerates(&fs));
 }

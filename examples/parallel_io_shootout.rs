@@ -15,7 +15,11 @@ use raidx_cluster::sim::Engine;
 
 type StoreBuilder = Box<dyn Fn(&mut Engine) -> Box<dyn BlockStore>>;
 
-fn measure(build: &dyn Fn(&mut Engine) -> Box<dyn BlockStore>, pattern: IoPattern, clients: usize) -> f64 {
+fn measure(
+    build: &dyn Fn(&mut Engine) -> Box<dyn BlockStore>,
+    pattern: IoPattern,
+    clients: usize,
+) -> f64 {
     let mut engine = Engine::new();
     let mut store = build(&mut engine);
     let cfg = ParallelIoConfig { clients, pattern, repeats: 3, ..Default::default() };
@@ -27,21 +31,51 @@ fn main() {
     println!("parallel I/O shoot-out on the Trojans cluster, {clients} clients\n");
 
     let systems: Vec<(&str, StoreBuilder)> = vec![
-        ("NFS", Box::new(|e: &mut Engine| -> Box<dyn BlockStore> {
-            Box::new(NfsSystem::new(e, ClusterConfig::trojans(), NfsConfig::default()))
-        })),
-        ("RAID-5", Box::new(|e: &mut Engine| -> Box<dyn BlockStore> {
-            Box::new(IoSystem::new(e, ClusterConfig::trojans(), Arch::Raid5, CddConfig::default()))
-        })),
-        ("RAID-10", Box::new(|e: &mut Engine| -> Box<dyn BlockStore> {
-            Box::new(IoSystem::new(e, ClusterConfig::trojans(), Arch::Raid10, CddConfig::default()))
-        })),
-        ("RAID-x", Box::new(|e: &mut Engine| -> Box<dyn BlockStore> {
-            Box::new(IoSystem::new(e, ClusterConfig::trojans(), Arch::RaidX, CddConfig::default()))
-        })),
+        (
+            "NFS",
+            Box::new(|e: &mut Engine| -> Box<dyn BlockStore> {
+                Box::new(NfsSystem::new(e, ClusterConfig::trojans(), NfsConfig::default()))
+            }),
+        ),
+        (
+            "RAID-5",
+            Box::new(|e: &mut Engine| -> Box<dyn BlockStore> {
+                Box::new(IoSystem::new(
+                    e,
+                    ClusterConfig::trojans(),
+                    Arch::Raid5,
+                    CddConfig::default(),
+                ))
+            }),
+        ),
+        (
+            "RAID-10",
+            Box::new(|e: &mut Engine| -> Box<dyn BlockStore> {
+                Box::new(IoSystem::new(
+                    e,
+                    ClusterConfig::trojans(),
+                    Arch::Raid10,
+                    CddConfig::default(),
+                ))
+            }),
+        ),
+        (
+            "RAID-x",
+            Box::new(|e: &mut Engine| -> Box<dyn BlockStore> {
+                Box::new(IoSystem::new(
+                    e,
+                    ClusterConfig::trojans(),
+                    Arch::RaidX,
+                    CddConfig::default(),
+                ))
+            }),
+        ),
     ];
 
-    println!("{:<14} {:>12} {:>12} {:>12} {:>12}", "architecture", "large read", "small read", "large write", "small write");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12}",
+        "architecture", "large read", "small read", "large write", "small write"
+    );
     for (name, build) in &systems {
         print!("{name:<14}");
         for pattern in IoPattern::ALL {

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Full local CI gate: formatting, lints, the whole test suite, and the
+# raidx-verify static-analysis passes. Run from the repository root.
+# Fails fast on the first broken stage.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test (workspace)"
+cargo test --workspace -q
+
+echo "==> verify_all (plan lint, lock order, layout conformance, determinism)"
+cargo run --release -p bench --bin verify_all
+
+echo "ci.sh: all gates passed"

@@ -13,7 +13,8 @@ use raidx_cluster::sim::Engine;
 fn andrew_runs_on_every_architecture() {
     for arch in Arch::ALL {
         let mut engine = Engine::new();
-        let store = IoSystem::new(&mut engine, ClusterConfig::trojans(), arch, CddConfig::default());
+        let store =
+            IoSystem::new(&mut engine, ClusterConfig::trojans(), arch, CddConfig::default());
         let (mut fs, _) = Fs::format(store, 2048, 0).unwrap();
         let cfg = AndrewConfig { clients: 4, dirs: 2, files_per_dir: 3, ..Default::default() };
         let r = run_andrew(&mut engine, &mut fs, &cfg).unwrap();
@@ -43,7 +44,8 @@ fn andrew_runs_over_nfs() {
 #[test]
 fn failure_during_fs_workload_and_double_rebuild() {
     let mut engine = Engine::new();
-    let store = IoSystem::new(&mut engine, ClusterConfig::trojans(), Arch::RaidX, CddConfig::default());
+    let store =
+        IoSystem::new(&mut engine, ClusterConfig::trojans(), Arch::RaidX, CddConfig::default());
     let (mut fs, _) = Fs::format(store, 1024, 0).unwrap();
     fs.mkdir(0, "/w").unwrap();
     let payloads: Vec<Vec<u8>> = (0..8)
@@ -119,7 +121,8 @@ fn generic_store_roundtrip() {
     }
     for arch in Arch::ALL {
         let mut engine = Engine::new();
-        let mut s = IoSystem::new(&mut engine, ClusterConfig::trojans(), arch, CddConfig::default());
+        let mut s =
+            IoSystem::new(&mut engine, ClusterConfig::trojans(), arch, CddConfig::default());
         roundtrip(&mut s);
     }
     let mut engine = Engine::new();

@@ -9,16 +9,21 @@ use raidx_cluster::sim::Engine;
 
 fn bandwidth(arch: Arch, pattern: IoPattern, clients: usize) -> f64 {
     let mut engine = Engine::new();
-    let mut store = IoSystem::new(&mut engine, ClusterConfig::trojans(), arch, CddConfig::default());
+    let mut store =
+        IoSystem::new(&mut engine, ClusterConfig::trojans(), arch, CddConfig::default());
     let cfg = ParallelIoConfig { clients, pattern, repeats: 3, ..Default::default() };
-    run_parallel_io(&mut engine, &mut store, &cfg).unwrap().aggregate_mbs
+    run_parallel_io(&mut engine, &mut store, &cfg)
+        .expect("parallel I/O workload failed")
+        .aggregate_mbs
 }
 
 fn nfs_bandwidth(pattern: IoPattern, clients: usize) -> f64 {
     let mut engine = Engine::new();
     let mut store = NfsSystem::new(&mut engine, ClusterConfig::trojans(), NfsConfig::default());
     let cfg = ParallelIoConfig { clients, pattern, repeats: 3, ..Default::default() };
-    run_parallel_io(&mut engine, &mut store, &cfg).unwrap().aggregate_mbs
+    run_parallel_io(&mut engine, &mut store, &cfg)
+        .expect("parallel I/O workload failed")
+        .aggregate_mbs
 }
 
 /// "For small writes, RAID-x achieved ... 3 times higher than RAID-5."
@@ -42,9 +47,11 @@ fn claim_raidx_wins_parallel_writes_at_scale() {
         let r5 = bandwidth(Arch::Raid5, pattern, 16);
         let r10 = bandwidth(Arch::Raid10, pattern, 16);
         let nfs = nfs_bandwidth(pattern, 16);
-        assert!(rx > r5 && rx > r10 && rx > nfs,
+        assert!(
+            rx > r5 && rx > r10 && rx > nfs,
             "{}: RAID-x {rx:.2} not best (RAID-5 {r5:.2}, RAID-10 {r10:.2}, NFS {nfs:.2})",
-            pattern.label());
+            pattern.label()
+        );
     }
 }
 
@@ -52,8 +59,8 @@ fn claim_raidx_wins_parallel_writes_at_scale() {
 /// (Table 3's improvement factors).
 #[test]
 fn claim_improvement_factors() {
-    let rx_improve =
-        bandwidth(Arch::RaidX, IoPattern::LargeRead, 16) / bandwidth(Arch::RaidX, IoPattern::LargeRead, 1);
+    let rx_improve = bandwidth(Arch::RaidX, IoPattern::LargeRead, 16)
+        / bandwidth(Arch::RaidX, IoPattern::LargeRead, 1);
     let nfs_improve =
         nfs_bandwidth(IoPattern::LargeRead, 16) / nfs_bandwidth(IoPattern::LargeRead, 1);
     assert!(rx_improve > 4.0, "RAID-x improvement only {rx_improve:.2}x");
@@ -111,19 +118,11 @@ fn claim_serverless_traffic_distribution() {
         ..Default::default()
     };
     run_parallel_io(&mut engine, &mut store, &cfg).unwrap();
-    let active_tx = store
-        .cluster
-        .nodes
-        .iter()
-        .filter(|n| engine.resource_stats(n.tx).bytes > 0)
-        .count();
+    let active_tx =
+        store.cluster.nodes.iter().filter(|n| engine.resource_stats(n.tx).bytes > 0).count();
     assert!(active_tx >= 15, "only {active_tx} nodes transmitted — looks centralized");
-    let active_disks = store
-        .cluster
-        .disks
-        .iter()
-        .filter(|d| engine.resource_stats(d.res).bytes > 0)
-        .count();
+    let active_disks =
+        store.cluster.disks.iter().filter(|d| engine.resource_stats(d.res).bytes > 0).count();
     assert_eq!(active_disks, 16, "all disks should participate in striped writes");
 }
 
@@ -140,7 +139,6 @@ fn claim_nfs_centralizes_traffic() {
     };
     run_parallel_io(&mut engine, &mut store, &cfg).unwrap();
     let server_rx = engine.resource_stats(store.cluster.nodes[0].rx).bytes;
-    let others: u64 =
-        (1..16).map(|n| engine.resource_stats(store.cluster.nodes[n].rx).bytes).sum();
+    let others: u64 = (1..16).map(|n| engine.resource_stats(store.cluster.nodes[n].rx).bytes).sum();
     assert!(server_rx > others, "server rx {server_rx} vs all others {others}");
 }
