@@ -1,18 +1,25 @@
-//! Run all four `raidx-verify` passes and exit non-zero on any finding.
+//! Run the `raidx-verify` passes and exit non-zero on any finding.
 //!
 //! ```text
-//! cargo run -p bench --bin verify_all
+//! cargo run -p bench --bin verify_all [-- --pass <name>]... [-- --budget <n>]
 //! ```
 //!
 //! Passes: plan linting of every architecture's real I/O plans, lock-order
-//! analysis of a recorded lock trace, the layout conformance sweep, and
-//! the determinism audit (double-run fingerprints plus the source-level
-//! hazard scan).
+//! analysis of a recorded lock trace, the layout conformance sweep, the
+//! determinism audit (double-run fingerprints plus the source-level
+//! hazard scan), the `raidx-model` interleaving checker, Wing–Gong
+//! linearizability over explored SIOS histories, and the OSM/checkpoint
+//! crash-consistency audit.
+//!
+//! `--pass <name>` (repeatable) runs only the named passes; `--budget <n>`
+//! bounds the schedules explored per model-checking scenario (default
+//! 100000). Each pass reports its wall-clock time.
 
 use cdd::{CddConfig, IoSystem};
 use cluster::ClusterConfig;
 use raidx_core::Arch;
 use raidx_verify::{analyze_lock_trace, audit_workload, conformance_sweep, lint_io_paths};
+use raidx_verify::{crash_consistency, linearizability, model_check};
 use raidx_verify::{report::PassReport, source_scan};
 use sim_core::Engine;
 use std::path::Path;
@@ -84,7 +91,8 @@ fn determinism_pass() -> PassReport {
     match source_scan::scan_dir(crates_dir) {
         Ok(hazards) => {
             let detail = if hazards.is_empty() {
-                "no wall clocks, OS entropy or unordered iteration in sim paths".to_string()
+                "no wall clocks, OS entropy, unordered iteration or stale acks in sim paths"
+                    .to_string()
             } else {
                 hazards.iter().map(ToString::to_string).collect::<Vec<_>>().join("; ")
             };
@@ -95,17 +103,101 @@ fn determinism_pass() -> PassReport {
     report
 }
 
-fn main() {
-    let passes = vec![lint_io_paths(), lock_order_pass(), layout_pass(), determinism_pass()];
-    let mut failures = 0;
-    for p in &passes {
-        print!("{}", p.render());
-        println!();
-        failures += p.failures();
+/// Registry of every pass, in execution order.
+const PASS_NAMES: [&str; 7] = [
+    "plan-lint",
+    "lock-order",
+    "layout-conformance",
+    "determinism",
+    "model-check",
+    "linearizability",
+    "crash-consistency",
+];
+
+fn run_pass(name: &str, budget: u64) -> PassReport {
+    match name {
+        "plan-lint" => lint_io_paths(),
+        "lock-order" => lock_order_pass(),
+        "layout-conformance" => layout_pass(),
+        "determinism" => determinism_pass(),
+        "model-check" => model_check::run_pass(budget),
+        "linearizability" => linearizability::run_pass(budget),
+        "crash-consistency" => crash_consistency::run_pass(),
+        other => unreachable!("unregistered pass {other}"),
     }
-    let checks: usize = passes.iter().map(|p| p.checks.len()).sum();
+}
+
+struct Cli {
+    passes: Vec<String>,
+    budget: u64,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli { passes: Vec::new(), budget: model_check::DEFAULT_BUDGET };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--pass" => {
+                let name = args.next().ok_or("--pass requires a name")?;
+                if !PASS_NAMES.contains(&name.as_str()) {
+                    return Err(format!(
+                        "unknown pass `{name}`; available: {}",
+                        PASS_NAMES.join(", ")
+                    ));
+                }
+                cli.passes.push(name);
+            }
+            "--budget" => {
+                let n = args.next().ok_or("--budget requires a number")?;
+                cli.budget =
+                    n.parse().map_err(|e| format!("--budget: invalid number `{n}`: {e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: verify_all [--pass <name>]... [--budget <n>]\npasses: {}",
+                    PASS_NAMES.join(", ")
+                ));
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let selected: Vec<&str> = if cli.passes.is_empty() {
+        PASS_NAMES.to_vec()
+    } else {
+        PASS_NAMES.iter().copied().filter(|n| cli.passes.iter().any(|p| p == n)).collect()
+    };
+    let mut failures = 0;
+    let mut checks = 0;
+    let mut timings: Vec<(&str, f64)> = Vec::new();
+    for name in &selected {
+        // det-ok: wall-clock spent per pass is reporting, not simulation.
+        let t0 = std::time::Instant::now();
+        let p = run_pass(name, cli.budget);
+        let secs = t0.elapsed().as_secs_f64();
+        timings.push((name, secs));
+        print!("{}", p.render());
+        println!("   ({secs:.2}s)\n");
+        failures += p.failures();
+        checks += p.checks.len();
+    }
+    let total: f64 = timings.iter().map(|(_, s)| s).sum();
+    let slowest = timings.iter().max_by(|a, b| a.1.total_cmp(&b.1));
+    if let Some((name, secs)) = slowest {
+        println!("timing: {total:.2}s total, slowest pass {name} ({secs:.2}s)");
+    }
     if failures == 0 {
-        println!("verify_all: all {checks} checks passed across {} passes", passes.len());
+        println!("verify_all: all {checks} checks passed across {} passes", selected.len());
     } else {
         println!("verify_all: {failures}/{checks} checks FAILED");
         std::process::exit(1);

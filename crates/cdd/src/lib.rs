@@ -17,6 +17,7 @@
 pub mod config;
 pub mod locks;
 pub mod ops;
+pub mod proto;
 pub mod runs;
 pub mod store;
 pub mod system;
@@ -24,6 +25,7 @@ pub mod system;
 pub use config::{CddConfig, ReadBalance};
 pub use locks::{LockConflict, LockEvent, LockGroupTable, LockHandle, LockRecord, ReleaseError};
 pub use ops::OpBuilder;
+pub use proto::{CddModel, Defect, HistOp, OpRecord, ProtoOp, ProtoState, Scenario};
 pub use runs::{merge_runs, Run};
 pub use store::BlockStore;
 pub use system::{IoError, IoSystem};

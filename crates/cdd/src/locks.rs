@@ -86,7 +86,7 @@ pub enum LockEvent {
 }
 
 /// The lock-group table.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct LockGroupTable {
     slots: Vec<Option<LockRecord>>,
     free: Vec<usize>,
@@ -120,6 +120,20 @@ impl LockGroupTable {
                 return Err(LockConflict { holder: rec.owner, start: rec.start, len: rec.len });
             }
         }
+        Ok(self.insert_grant(owner, start, len))
+    }
+
+    /// Grant `[start, start+len)` to `owner` **without** the overlap
+    /// check. This is a defect-injection hook for the `raidx-model`
+    /// checker (planting a double-grant bug the table invariant must
+    /// catch); production protocol code must always go through
+    /// [`LockGroupTable::acquire`].
+    pub fn acquire_unchecked(&mut self, owner: usize, start: u64, len: u64) -> LockHandle {
+        assert!(len > 0, "empty lock group");
+        self.insert_grant(owner, start, len)
+    }
+
+    fn insert_grant(&mut self, owner: usize, start: u64, len: u64) -> LockHandle {
         self.grants += 1;
         let rec = LockRecord { owner, start, len };
         let idx = match self.free.pop() {
@@ -135,7 +149,12 @@ impl LockGroupTable {
         if let Some(t) = &mut self.trace {
             t.push(LockEvent::Grant { owner, start, len, slot: idx });
         }
-        Ok(LockHandle(idx))
+        LockHandle(idx)
+    }
+
+    /// The record currently held under `h`, if the slot is live.
+    pub fn record_of(&self, h: LockHandle) -> Option<&LockRecord> {
+        self.slots.get(h.0).and_then(Option::as_ref)
     }
 
     /// Atomically release a grant.

@@ -1,0 +1,517 @@
+//! `raidx-model` protocol scenarios — small multi-client CDD programs the
+//! schedule explorer can exhaustively interleave.
+//!
+//! A [`Scenario`] gives each client a script of group operations
+//! ([`ProtoOp`]); compilation breaks every operation into *micro-steps*
+//! (acquire the lock group, write/read one block, release) so the
+//! explorer can preempt between any two. [`CddModel`] implements
+//! [`sim_core::explore::Model`] over the shared [`ProtoState`]: the real
+//! [`LockGroupTable`], a flat block store standing in for the Single I/O
+//! Space, and a recorded operation history for post-hoc linearizability
+//! checking.
+//!
+//! **Invariants checked while exploring** (the paper's CDD consistency
+//! contract): no two live grants of different owners overlap (grants are
+//! exclusive write permissions), every store write is covered by a grant
+//! held by the writer (when `assert_coverage` is on), and every schedule
+//! terminates (a client blocked forever is a lost wakeup / deadlock,
+//! which the explorer reports).
+//!
+//! **Seeded defects.** [`Defect`] plants one of five protocol bugs so the
+//! checker's tests can prove each detection path actually fires; see the
+//! variant docs for which signal catches which bug.
+
+use crate::locks::{LockGroupTable, LockHandle};
+use sim_core::explore::{Footprint, Model, ThreadId};
+
+/// Abstract footprint cell of the shared lock-group table.
+pub const TABLE_CELL: u64 = 0;
+
+/// Abstract footprint cell of logical block `lb` (offset past the table).
+pub fn block_cell(lb: u64) -> u64 {
+    1 + lb
+}
+
+/// One scripted group operation of a client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoOp {
+    /// Acquire `[start, start+len)`, write `val` to every block, release.
+    WriteGroup {
+        /// First logical block of the group.
+        start: u64,
+        /// Blocks in the group.
+        len: u64,
+        /// Value written to each block.
+        val: u64,
+    },
+    /// Acquire `[start, start+len)`, read every block, release.
+    ReadGroup {
+        /// First logical block of the group.
+        start: u64,
+        /// Blocks in the group.
+        len: u64,
+    },
+}
+
+/// A protocol bug planted into the compiled scenario, used by
+/// seeded-defect tests to prove the checker catches it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Defect {
+    /// Faithful protocol — exploration must come back clean.
+    None,
+    /// On conflict, grant anyway (bypasses the overlap check). Caught by
+    /// the overlapping-grants state invariant.
+    DoubleGrant,
+    /// Releases do not wake blocked waiters. Caught as a deadlock (lost
+    /// wakeup) on schedules where the waiter blocks before the release.
+    SkipWakeup,
+    /// The group is released after the first block write; remaining
+    /// blocks are written unlocked. Caught by the write-coverage step
+    /// assertion, or as a torn read by the linearizability checker.
+    EarlyRelease,
+    /// Multi-block groups are acquired one block at a time — ascending on
+    /// even clients, descending on odd ones — instead of atomically.
+    /// Caught as an ABBA deadlock.
+    SplitAcquire,
+    /// Readers skip the lock protocol entirely. Caught as a
+    /// non-linearizable (torn) read by the history checker.
+    UnlockedRead,
+}
+
+/// A named multi-client scenario for the model checker.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (used in pass reports).
+    pub name: &'static str,
+    /// Size of the shared block store.
+    pub blocks: u64,
+    /// Per-client operation scripts (client index = thread id).
+    pub scripts: Vec<Vec<ProtoOp>>,
+    /// The planted bug, if any.
+    pub defect: Defect,
+    /// Assert at every store write that the writer holds a covering
+    /// grant. On for invariant scenarios; off for linearizability
+    /// scenarios (there the history checker is the oracle).
+    pub assert_coverage: bool,
+}
+
+/// Two clients writing the same two-block group — the minimal contended
+/// scenario exercising conflict, blocking and wakeup.
+pub fn scenario_contended(defect: Defect) -> Scenario {
+    Scenario {
+        name: "contended-writers",
+        blocks: 2,
+        scripts: vec![
+            vec![ProtoOp::WriteGroup { start: 0, len: 2, val: 10 }],
+            vec![ProtoOp::WriteGroup { start: 0, len: 2, val: 20 }],
+        ],
+        defect,
+        assert_coverage: true,
+    }
+}
+
+/// A writer and a concurrent reader over the same group — the scenario
+/// whose histories the linearizability checker audits for torn reads.
+pub fn scenario_reader(defect: Defect) -> Scenario {
+    Scenario {
+        name: "writer-reader",
+        blocks: 2,
+        scripts: vec![
+            vec![ProtoOp::WriteGroup { start: 0, len: 2, val: 7 }],
+            vec![ProtoOp::ReadGroup { start: 0, len: 2 }],
+        ],
+        defect,
+        assert_coverage: false,
+    }
+}
+
+/// Three clients with overlapping groups: two writers whose ranges share
+/// a block, plus a reader spanning both.
+pub fn scenario_three(defect: Defect) -> Scenario {
+    Scenario {
+        name: "three-clients",
+        blocks: 3,
+        scripts: vec![
+            vec![ProtoOp::WriteGroup { start: 0, len: 2, val: 5 }],
+            vec![ProtoOp::WriteGroup { start: 1, len: 2, val: 6 }],
+            vec![ProtoOp::ReadGroup { start: 0, len: 2 }],
+        ],
+        defect,
+        assert_coverage: true,
+    }
+}
+
+/// One entry of the SIOS operation history recorded during exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistOp {
+    /// A completed group write.
+    Write {
+        /// First block written.
+        start: u64,
+        /// Blocks written.
+        len: u64,
+        /// Value written to each block.
+        val: u64,
+    },
+    /// A completed group read and the values it returned.
+    Read {
+        /// First block read.
+        start: u64,
+        /// Value returned per block, in ascending block order.
+        vals: Vec<u64>,
+    },
+}
+
+/// A completed operation with its real-time invocation/response window
+/// (global step counters), as consumed by the linearizability checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpRecord {
+    /// The client that issued the operation.
+    pub client: usize,
+    /// Global step count at which the operation started.
+    pub inv: u64,
+    /// Global step count at which the operation completed.
+    pub resp: u64,
+    /// What the operation did / returned.
+    pub op: HistOp,
+}
+
+/// One atomic scheduler-visible action of a client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MicroStep {
+    Acquire { start: u64, len: u64 },
+    Write { lb: u64, val: u64 },
+    Read { lb: u64 },
+    Release,
+}
+
+/// A scripted operation compiled to micro-steps.
+#[derive(Debug, Clone)]
+struct CompiledOp {
+    op: ProtoOp,
+    steps: Vec<MicroStep>,
+}
+
+fn compile_op(op: &ProtoOp, defect: Defect, client: usize) -> CompiledOp {
+    let mut steps = Vec::new();
+    match *op {
+        ProtoOp::WriteGroup { start, len, val } => {
+            match defect {
+                Defect::SplitAcquire if len > 1 => {
+                    // Non-atomic per-block acquisition; odd clients in
+                    // descending order — the classic ABBA shape.
+                    let blocks: Vec<u64> = (start..start + len).collect();
+                    let order: Vec<u64> = if client.is_multiple_of(2) {
+                        blocks
+                    } else {
+                        blocks.into_iter().rev().collect()
+                    };
+                    for lb in order {
+                        steps.push(MicroStep::Acquire { start: lb, len: 1 });
+                    }
+                }
+                _ => steps.push(MicroStep::Acquire { start, len }),
+            }
+            if defect == Defect::EarlyRelease && len > 1 {
+                steps.push(MicroStep::Write { lb: start, val });
+                steps.push(MicroStep::Release);
+                for lb in start + 1..start + len {
+                    steps.push(MicroStep::Write { lb, val });
+                }
+            } else {
+                for lb in start..start + len {
+                    steps.push(MicroStep::Write { lb, val });
+                }
+                steps.push(MicroStep::Release);
+            }
+        }
+        ProtoOp::ReadGroup { start, len } => {
+            let locked = defect != Defect::UnlockedRead;
+            if locked {
+                steps.push(MicroStep::Acquire { start, len });
+            }
+            for lb in start..start + len {
+                steps.push(MicroStep::Read { lb });
+            }
+            if locked {
+                steps.push(MicroStep::Release);
+            }
+        }
+    }
+    CompiledOp { op: op.clone(), steps }
+}
+
+/// Per-client execution state.
+#[derive(Debug, Clone)]
+pub struct ClientState {
+    op_idx: usize,
+    step_idx: usize,
+    handles: Vec<LockHandle>,
+    waiting: bool,
+    op_inv: Option<u64>,
+    read_vals: Vec<u64>,
+}
+
+/// The shared state the explorer clones at every branch point.
+#[derive(Debug, Clone)]
+pub struct ProtoState {
+    /// The real CDD lock-group table.
+    pub table: LockGroupTable,
+    /// The Single-I/O-Space stand-in: one value per logical block.
+    pub store: Vec<u64>,
+    /// Completed operations, for the linearizability checker.
+    pub history: Vec<OpRecord>,
+    /// Global step counter (real-time order for inv/resp stamps).
+    pub steps: u64,
+    /// Per-client execution state.
+    pub clients: Vec<ClientState>,
+}
+
+/// A compiled [`Scenario`] implementing [`Model`] for the explorer.
+#[derive(Debug, Clone)]
+pub struct CddModel {
+    scenario: Scenario,
+    programs: Vec<Vec<CompiledOp>>,
+}
+
+impl CddModel {
+    /// Compile a scenario's scripts into explorable micro-step programs.
+    pub fn new(scenario: Scenario) -> Self {
+        let programs = scenario
+            .scripts
+            .iter()
+            .enumerate()
+            .map(|(client, script)| {
+                script.iter().map(|op| compile_op(op, scenario.defect, client)).collect()
+            })
+            .collect();
+        CddModel { scenario, programs }
+    }
+
+    /// The compiled scenario's name.
+    pub fn name(&self) -> &'static str {
+        self.scenario.name
+    }
+
+    fn current(&self, s: &ProtoState, t: ThreadId) -> MicroStep {
+        let c = &s.clients[t];
+        self.programs[t][c.op_idx].steps[c.step_idx]
+    }
+}
+
+impl Model for CddModel {
+    type State = ProtoState;
+
+    fn init(&self) -> ProtoState {
+        ProtoState {
+            table: LockGroupTable::new(),
+            store: vec![0; self.scenario.blocks as usize],
+            history: Vec::new(),
+            steps: 0,
+            clients: self
+                .programs
+                .iter()
+                .map(|_| ClientState {
+                    op_idx: 0,
+                    step_idx: 0,
+                    handles: Vec::new(),
+                    waiting: false,
+                    op_inv: None,
+                    read_vals: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    fn threads(&self) -> usize {
+        self.programs.len()
+    }
+
+    fn done(&self, s: &ProtoState, t: ThreadId) -> bool {
+        s.clients[t].op_idx >= self.programs[t].len()
+    }
+
+    fn enabled(&self, s: &ProtoState, t: ThreadId) -> bool {
+        !self.done(s, t) && !s.clients[t].waiting
+    }
+
+    fn footprint(&self, s: &ProtoState, t: ThreadId) -> Footprint {
+        match self.current(s, t) {
+            MicroStep::Acquire { .. } | MicroStep::Release => Footprint::cells(vec![TABLE_CELL]),
+            MicroStep::Write { lb, .. } | MicroStep::Read { lb } => {
+                Footprint::cells(vec![block_cell(lb)])
+            }
+        }
+    }
+
+    fn step(&self, s: &mut ProtoState, t: ThreadId) -> Result<(), String> {
+        s.steps += 1;
+        let now = s.steps;
+        let (op_idx, step_idx) = (s.clients[t].op_idx, s.clients[t].step_idx);
+        let comp = &self.programs[t][op_idx];
+        if step_idx == 0 && s.clients[t].op_inv.is_none() {
+            s.clients[t].op_inv = Some(now);
+        }
+        let mut advance = true;
+        match comp.steps[step_idx] {
+            MicroStep::Acquire { start, len } => match s.table.acquire(t, start, len) {
+                Ok(h) => s.clients[t].handles.push(h),
+                Err(_) if self.scenario.defect == Defect::DoubleGrant => {
+                    let h = s.table.acquire_unchecked(t, start, len);
+                    s.clients[t].handles.push(h);
+                }
+                Err(_) => {
+                    // Block until some release wakes us; the acquire
+                    // micro-step retries then.
+                    s.clients[t].waiting = true;
+                    advance = false;
+                }
+            },
+            MicroStep::Write { lb, val } => {
+                if self.scenario.assert_coverage {
+                    let covered = s.clients[t].handles.iter().any(|&h| {
+                        s.table
+                            .record_of(h)
+                            .is_some_and(|r| r.owner == t && r.start <= lb && lb < r.start + r.len)
+                    });
+                    if !covered {
+                        return Err(format!(
+                            "client {t} writes block {lb} without a covering grant"
+                        ));
+                    }
+                }
+                s.store[lb as usize] = val;
+            }
+            MicroStep::Read { lb } => {
+                let v = s.store[lb as usize];
+                s.clients[t].read_vals.push(v);
+            }
+            MicroStep::Release => {
+                let handles = std::mem::take(&mut s.clients[t].handles);
+                for h in handles {
+                    s.table.try_release(h).map_err(|e| format!("release failed: {e:?}"))?;
+                }
+                if self.scenario.defect != Defect::SkipWakeup {
+                    for (i, c) in s.clients.iter_mut().enumerate() {
+                        if i != t {
+                            c.waiting = false;
+                        }
+                    }
+                }
+            }
+        }
+        if advance {
+            let steps_len = comp.steps.len();
+            let c = &mut s.clients[t];
+            c.step_idx += 1;
+            if c.step_idx == steps_len {
+                let inv = c.op_inv.take().unwrap_or(now);
+                let op = match &comp.op {
+                    ProtoOp::WriteGroup { start, len, val } => {
+                        HistOp::Write { start: *start, len: *len, val: *val }
+                    }
+                    ProtoOp::ReadGroup { start, .. } => {
+                        HistOp::Read { start: *start, vals: std::mem::take(&mut c.read_vals) }
+                    }
+                };
+                c.op_idx += 1;
+                c.step_idx = 0;
+                s.history.push(OpRecord { client: t, inv, resp: now, op });
+            }
+        }
+        Ok(())
+    }
+
+    fn invariant(&self, s: &ProtoState) -> Result<(), String> {
+        let held: Vec<_> = s.table.held().collect();
+        for (i, a) in held.iter().enumerate() {
+            for b in &held[i + 1..] {
+                if a.owner != b.owner && a.start < b.start + b.len && b.start < a.start + a.len {
+                    return Err(format!(
+                        "overlapping grants: client {} [{},+{}) vs client {} [{},+{})",
+                        a.owner, a.start, a.len, b.owner, b.start, b.len
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::explore::{Explorer, FailureKind};
+
+    fn all_clean_scenarios() -> Vec<Scenario> {
+        vec![
+            scenario_contended(Defect::None),
+            scenario_reader(Defect::None),
+            scenario_three(Defect::None),
+        ]
+    }
+
+    #[test]
+    fn clean_scenarios_explore_clean() {
+        for sc in all_clean_scenarios() {
+            let name = sc.name;
+            let r = Explorer::default().explore(&CddModel::new(sc));
+            assert!(r.clean(), "{name}: {:?}", r.failure);
+            assert!(r.schedules > 0, "{name}: no schedule reached a leaf");
+            assert!(!r.truncated, "{name}: truncated");
+        }
+    }
+
+    #[test]
+    fn double_grant_violates_invariant() {
+        let r =
+            Explorer::default().explore(&CddModel::new(scenario_contended(Defect::DoubleGrant)));
+        let f = r.failure.expect("double grant not caught");
+        assert!(matches!(f.kind, FailureKind::Invariant(_)), "{f}");
+    }
+
+    #[test]
+    fn skipped_wakeup_deadlocks() {
+        let r = Explorer::default().explore(&CddModel::new(scenario_contended(Defect::SkipWakeup)));
+        let f = r.failure.expect("lost wakeup not caught");
+        assert!(matches!(f.kind, FailureKind::Deadlock(_)), "{f}");
+    }
+
+    #[test]
+    fn split_acquire_deadlocks() {
+        let r =
+            Explorer::default().explore(&CddModel::new(scenario_contended(Defect::SplitAcquire)));
+        let f = r.failure.expect("ABBA deadlock not caught");
+        assert!(matches!(f.kind, FailureKind::Deadlock(_)), "{f}");
+    }
+
+    #[test]
+    fn early_release_fails_coverage() {
+        let r =
+            Explorer::default().explore(&CddModel::new(scenario_contended(Defect::EarlyRelease)));
+        let f = r.failure.expect("uncovered write not caught");
+        assert!(matches!(f.kind, FailureKind::Step(_)), "{f}");
+    }
+
+    #[test]
+    fn pruning_preserves_clean_verdict() {
+        let full = Explorer { sleep_sets: false, ..Explorer::default() };
+        let pruned = Explorer::default();
+        let a = full.explore(&CddModel::new(scenario_three(Defect::None)));
+        let b = pruned.explore(&CddModel::new(scenario_three(Defect::None)));
+        assert!(a.clean() && b.clean());
+        assert!(b.pruned > 0, "no pruning happened");
+        assert!(b.steps <= a.steps, "pruning did not reduce work");
+    }
+
+    #[test]
+    fn history_records_complete_ops() {
+        let m = CddModel::new(scenario_reader(Defect::None));
+        let (s, fail) = sim_core::explore::replay(&m, &[], 64);
+        assert!(fail.is_none(), "{fail:?}");
+        assert_eq!(s.history.len(), 2);
+        for r in &s.history {
+            assert!(r.inv <= r.resp);
+        }
+    }
+}

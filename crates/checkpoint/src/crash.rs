@@ -1,0 +1,336 @@
+//! Crash-point enumeration for the OSM mirror-flush and two-level
+//! checkpoint commit protocols.
+//!
+//! The simulation's recovery tests (`two_level.rs`) exercise one failure
+//! at one point in time; this module instead walks the **physical write
+//! schedule** of each protocol and verifies recovery after a crash at
+//! *every* prefix of it. Each schedule step is one atomic cell write
+//! (single data block, single image block, one commit record, one
+//! journal entry) — the granularity a disk actually guarantees; anything
+//! the protocol treats as atomic beyond that must be earned by ordering.
+//!
+//! Two protocols are audited:
+//!
+//! * [`audit_two_level`] — a double-buffered striped checkpoint (Section
+//!   6): data blocks stripe into the inactive slot, OSM images flush,
+//!   then a single commit record flips the active slot. After any crash,
+//!   *transient* recovery (read the committed slot's local images) and
+//!   *permanent* recovery (read its striped data blocks) must both
+//!   reconstruct the committed version exactly.
+//! * [`audit_write_behind`] — OSM's background mirror flush with a
+//!   write-behind journal: journal the block, write the data block, then
+//!   later flush the image and clear the journal entry. After any crash,
+//!   replaying the journal (re-flushing journaled blocks) must leave
+//!   every image equal to its data block.
+//!
+//! [`CrashDefect`] plants ordering bugs (commit before flush, missing
+//! journal entry, in-place overwrite of the committed slot, …) so tests
+//! can prove the audit catches each one.
+
+use std::collections::BTreeSet;
+
+/// An ordering bug planted into a protocol's write schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashDefect {
+    /// Faithful protocol — every crash point must recover cleanly.
+    None,
+    /// Two-level: the commit record is written after the data stripes
+    /// but **before** the image flushes. A crash in between leaves the
+    /// committed slot with stale images — transient recovery breaks.
+    EarlyCommit,
+    /// Two-level: the commit record is written first, before any data.
+    /// A crash right after it leaves the committed slot torn — both
+    /// recovery paths break.
+    CommitBeforeFlush,
+    /// Two-level: the new checkpoint overwrites the committed slot
+    /// instead of the inactive one (no double buffering). A crash
+    /// mid-write tears the only committed copy.
+    InPlaceCheckpoint,
+    /// Two-level: image flushes are skipped entirely; write-behind: the
+    /// journal entry is cleared without writing the image. Transient /
+    /// mirror recovery reads stale images.
+    SkipImageFlush,
+    /// Write-behind: the block is journalled only at flush time, after
+    /// the data write. A crash in the window leaves a stale image with
+    /// no journal entry to repair it.
+    LateJournal,
+}
+
+/// One recovery failure at one crash point.
+#[derive(Debug, Clone)]
+pub struct CrashFinding {
+    /// Number of schedule steps that completed before the crash.
+    pub crash_after: usize,
+    /// Which recovery path failed: `"transient"`, `"permanent"` or
+    /// `"mirror"`.
+    pub path: &'static str,
+    /// Human-readable description of the inconsistency.
+    pub detail: String,
+}
+
+impl std::fmt::Display for CrashFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "crash after step {}: {} recovery: {}", self.crash_after, self.path, self.detail)
+    }
+}
+
+/// Aggregate result of one crash-point sweep.
+#[derive(Debug, Clone, Default)]
+pub struct CrashAudit {
+    /// Crash points enumerated (schedule prefixes, including "no steps"
+    /// and "all steps").
+    pub crash_points: usize,
+    /// Individual cell comparisons performed across all recoveries.
+    pub checks: u64,
+    /// Every recovery failure found.
+    pub findings: Vec<CrashFinding>,
+}
+
+impl CrashAudit {
+    /// True when every crash point recovered consistently.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+// --- Two-level double-buffered checkpoint -------------------------------
+
+/// Abstract persistent state of the double-buffered checkpoint region.
+#[derive(Debug, Clone)]
+struct CkptDisk {
+    /// Striped data cells, per slot.
+    data: [Vec<u64>; 2],
+    /// Local OSM image cells, per slot.
+    image: [Vec<u64>; 2],
+    /// The atomic commit record: (active slot, committed version).
+    commit: (usize, u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CkptStep {
+    Data { slot: usize, i: usize, val: u64 },
+    Image { slot: usize, i: usize, val: u64 },
+    Commit { slot: usize, val: u64 },
+}
+
+fn ckpt_schedule(blocks: usize, defect: CrashDefect) -> Vec<CkptStep> {
+    // Version 1 already lives committed in slot 0; version 2 is being
+    // checkpointed. The in-place defect writes into the committed slot.
+    let slot = if defect == CrashDefect::InPlaceCheckpoint { 0 } else { 1 };
+    let mut sched = Vec::new();
+    if defect == CrashDefect::CommitBeforeFlush {
+        sched.push(CkptStep::Commit { slot, val: 2 });
+    }
+    for i in 0..blocks {
+        sched.push(CkptStep::Data { slot, i, val: 2 });
+    }
+    if defect == CrashDefect::EarlyCommit {
+        sched.push(CkptStep::Commit { slot, val: 2 });
+    }
+    if defect != CrashDefect::SkipImageFlush {
+        for i in 0..blocks {
+            sched.push(CkptStep::Image { slot, i, val: 2 });
+        }
+    }
+    if !matches!(defect, CrashDefect::CommitBeforeFlush | CrashDefect::EarlyCommit) {
+        sched.push(CkptStep::Commit { slot, val: 2 });
+    }
+    sched
+}
+
+/// Enumerate every crash point of a two-level checkpoint commit and
+/// verify both recovery paths reconstruct the committed version.
+pub fn audit_two_level(blocks: usize, defect: CrashDefect) -> CrashAudit {
+    let sched = ckpt_schedule(blocks, defect);
+    let mut audit = CrashAudit { crash_points: sched.len() + 1, checks: 0, findings: Vec::new() };
+    for crash_after in 0..=sched.len() {
+        let mut d = CkptDisk {
+            data: [vec![1; blocks], vec![0; blocks]],
+            image: [vec![1; blocks], vec![0; blocks]],
+            commit: (0, 1),
+        };
+        for step in &sched[..crash_after] {
+            match *step {
+                CkptStep::Data { slot, i, val } => d.data[slot][i] = val,
+                CkptStep::Image { slot, i, val } => d.image[slot][i] = val,
+                CkptStep::Commit { slot, val } => d.commit = (slot, val),
+            }
+        }
+        let (slot, ver) = d.commit;
+        for i in 0..blocks {
+            audit.checks += 2;
+            if d.image[slot][i] != ver {
+                audit.findings.push(CrashFinding {
+                    crash_after,
+                    path: "transient",
+                    detail: format!(
+                        "image block {i} of committed slot {slot} holds {} instead of version {ver}",
+                        d.image[slot][i]
+                    ),
+                });
+            }
+            if d.data[slot][i] != ver {
+                audit.findings.push(CrashFinding {
+                    crash_after,
+                    path: "permanent",
+                    detail: format!(
+                        "data block {i} of committed slot {slot} holds {} instead of version {ver}",
+                        d.data[slot][i]
+                    ),
+                });
+            }
+        }
+    }
+    audit
+}
+
+// --- OSM write-behind mirror flush --------------------------------------
+
+#[derive(Debug, Clone)]
+struct MirrorDisk {
+    data: Vec<u64>,
+    image: Vec<u64>,
+    /// Persisted write-behind journal: blocks whose image may be stale.
+    journal: BTreeSet<usize>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum MirrorStep {
+    Journal(usize),
+    Data { i: usize, val: u64 },
+    Image { i: usize, val: u64 },
+    Clear(usize),
+}
+
+fn mirror_schedule(blocks: usize, defect: CrashDefect) -> Vec<MirrorStep> {
+    let mut sched = Vec::new();
+    for i in 0..blocks {
+        if defect != CrashDefect::LateJournal {
+            sched.push(MirrorStep::Journal(i));
+        }
+        sched.push(MirrorStep::Data { i, val: 2 });
+    }
+    // The deferred background flush.
+    for i in 0..blocks {
+        if defect == CrashDefect::LateJournal {
+            sched.push(MirrorStep::Journal(i));
+        }
+        if defect != CrashDefect::SkipImageFlush {
+            sched.push(MirrorStep::Image { i, val: 2 });
+        }
+        sched.push(MirrorStep::Clear(i));
+    }
+    sched
+}
+
+/// Enumerate every crash point of an OSM write-behind mirror flush and
+/// verify journal replay repairs every stale image.
+pub fn audit_write_behind(blocks: usize, defect: CrashDefect) -> CrashAudit {
+    let sched = mirror_schedule(blocks, defect);
+    let mut audit = CrashAudit { crash_points: sched.len() + 1, checks: 0, findings: Vec::new() };
+    for crash_after in 0..=sched.len() {
+        let mut d =
+            MirrorDisk { data: vec![1; blocks], image: vec![1; blocks], journal: BTreeSet::new() };
+        for step in &sched[..crash_after] {
+            match *step {
+                MirrorStep::Journal(i) => {
+                    d.journal.insert(i);
+                }
+                MirrorStep::Data { i, val } => d.data[i] = val,
+                MirrorStep::Image { i, val } => d.image[i] = val,
+                MirrorStep::Clear(i) => {
+                    d.journal.remove(&i);
+                }
+            }
+        }
+        // Recovery: re-flush every journalled block, then every image
+        // must mirror its data block.
+        let mut recovered = d.image.clone();
+        for &i in &d.journal {
+            recovered[i] = d.data[i];
+        }
+        for (i, rec) in recovered.iter().enumerate() {
+            audit.checks += 1;
+            if *rec != d.data[i] {
+                audit.findings.push(CrashFinding {
+                    crash_after,
+                    path: "mirror",
+                    detail: format!(
+                        "image of block {i} holds {} but data holds {} and the journal has no entry",
+                        rec, d.data[i]
+                    ),
+                });
+            }
+        }
+    }
+    audit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_two_level_survives_every_crash_point() {
+        for blocks in 1..=4 {
+            let a = audit_two_level(blocks, CrashDefect::None);
+            assert!(a.clean(), "blocks={blocks}: {:?}", a.findings.first());
+            assert_eq!(a.crash_points, 2 * blocks + 2);
+            assert!(a.checks > 0);
+        }
+    }
+
+    #[test]
+    fn clean_write_behind_survives_every_crash_point() {
+        for blocks in 1..=4 {
+            let a = audit_write_behind(blocks, CrashDefect::None);
+            assert!(a.clean(), "blocks={blocks}: {:?}", a.findings.first());
+            assert!(a.crash_points > 0 && a.checks > 0);
+        }
+    }
+
+    #[test]
+    fn early_commit_breaks_transient_recovery() {
+        let a = audit_two_level(3, CrashDefect::EarlyCommit);
+        assert!(!a.clean());
+        assert!(a.findings.iter().all(|f| f.path == "transient"), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn commit_before_flush_breaks_both_paths() {
+        let a = audit_two_level(3, CrashDefect::CommitBeforeFlush);
+        assert!(a.findings.iter().any(|f| f.path == "transient"));
+        assert!(a.findings.iter().any(|f| f.path == "permanent"));
+    }
+
+    #[test]
+    fn in_place_checkpoint_tears_committed_copy() {
+        let a = audit_two_level(3, CrashDefect::InPlaceCheckpoint);
+        assert!(!a.clean());
+        // The torn state is visible mid-write, before any commit flip.
+        assert!(a.findings.iter().any(|f| f.crash_after <= 3), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn skipped_image_flush_caught_in_both_protocols() {
+        assert!(!audit_two_level(2, CrashDefect::SkipImageFlush).clean());
+        assert!(!audit_write_behind(2, CrashDefect::SkipImageFlush).clean());
+    }
+
+    #[test]
+    fn late_journal_leaves_unrepairable_window() {
+        let a = audit_write_behind(2, CrashDefect::LateJournal);
+        assert!(!a.clean());
+        assert!(a.findings.iter().all(|f| f.path == "mirror"));
+        // The defect is irrelevant to the two-level protocol.
+        assert!(audit_two_level(2, CrashDefect::LateJournal).clean());
+    }
+
+    #[test]
+    fn findings_render_with_crash_point() {
+        let a = audit_write_behind(1, CrashDefect::LateJournal);
+        let f = a.findings.first().expect("finding");
+        let s = f.to_string();
+        assert!(s.contains("crash after step"), "{s}");
+    }
+}

@@ -17,8 +17,10 @@
 //! mirrored image** (OSM keeps one image per block in the same row);
 //! a permanent disk failure restores through the degraded read path.
 
+pub mod crash;
 pub mod two_level;
 
+pub use crash::{audit_two_level, audit_write_behind, CrashAudit, CrashDefect, CrashFinding};
 pub use two_level::{image_local_blocks, run_two_level, TwoLevelResult};
 
 use cdd::{BlockStore, IoError};

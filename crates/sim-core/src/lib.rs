@@ -40,6 +40,7 @@
 pub mod check;
 pub mod demand;
 pub mod engine;
+pub mod explore;
 pub mod plan;
 pub mod resource;
 pub mod rng;
@@ -48,6 +49,7 @@ pub mod validate;
 
 pub use demand::Demand;
 pub use engine::{DeadlockError, Engine, JobId, JobRecord, RunReport, TaskId};
+pub use explore::{Exploration, Explorer, Failure, FailureKind, Footprint, Model, ThreadId};
 pub use plan::{BarrierId, Plan};
 pub use resource::{FixedRate, ResourceId, ResourceStats, ServiceModel};
 pub use rng::SplitMix64;

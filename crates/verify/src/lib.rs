@@ -1,7 +1,7 @@
 #![warn(missing_docs)]
 //! # raidx-verify — static analysis and invariant verification
 //!
-//! Four offline passes that check the reproduction's correctness
+//! Seven offline passes that check the reproduction's correctness
 //! properties *before and between* simulations, independently of the unit
 //! tests:
 //!
@@ -22,20 +22,34 @@
 //!    workload twice and fingerprints the event traces (they must be
 //!    bit-identical), and greps the crate sources for nondeterminism
 //!    hazards (wall clocks, OS randomness, unordered map iteration in
-//!    simulation paths).
+//!    simulation paths) plus stale hazard acknowledgements.
+//! 5. [`model_check`] — the `raidx-model` checker: exhaustively
+//!    interleaves small multi-client CDD scenarios under the
+//!    [`sim_core::explore`] scheduler, asserting lock-group invariants
+//!    (no double grant, covered writes, no lost wakeups) at every step.
+//! 6. [`linearizability`] — Wing–Gong checks the SIOS read/write history
+//!    of every explored schedule against a sequential block-store spec.
+//! 7. [`crash_consistency`] — enumerates crash points inside OSM
+//!    mirror flushes and two-level checkpoint commits and verifies both
+//!    recovery paths always reconstruct a consistent image.
 //!
 //! Every pass is a library API first; `cargo run -p bench --bin
-//! verify_all` drives all four and exits non-zero on any finding.
+//! verify_all` drives all seven (filterable with `--pass <name>`) and
+//! exits non-zero on any finding.
 
+pub mod crash_consistency;
 pub mod determinism;
 pub mod layout_check;
+pub mod linearizability;
 pub mod lock_order;
+pub mod model_check;
 pub mod plan_lint;
 pub mod report;
 pub mod source_scan;
 
 pub use determinism::{audit_workload, engine_fingerprint, DeterminismReport};
 pub use layout_check::{conformance_sweep, SweepRow};
+pub use linearizability::check_history;
 pub use lock_order::{analyze_lock_trace, LockAuditReport, LockDefect};
 pub use plan_lint::lint_io_paths;
 pub use report::{Check, PassReport};

@@ -278,6 +278,131 @@ mod tests {
         assert!(cycle.contains(&a) && cycle.contains(&b));
     }
 
+    /// A 3-cycle across three clients: 0 holds A acquires B, 1 holds B
+    /// acquires C, 2 holds C acquires A. No pair of clients conflicts
+    /// directly — only the length-3 cycle reveals the deadlock.
+    #[test]
+    fn three_cycle_detected() {
+        let a = (0u64, 10u64);
+        let b = (100u64, 10u64);
+        let c = (200u64, 10u64);
+        let mut trace = Vec::new();
+        for (owner, (first, second)) in [(0, (a, b)), (1, (b, c)), (2, (c, a))] {
+            trace.push(grant(owner, first.0, first.1, 0));
+            trace.push(grant(owner, second.0, second.1, 1));
+            trace.push(release(owner, 1));
+            trace.push(release(owner, 0));
+        }
+        let r = analyze_lock_trace(&trace);
+        assert_eq!(r.order_edges, 3);
+        let cycle = r
+            .defects
+            .iter()
+            .find_map(|d| match d {
+                LockDefect::OrderCycle { cycle } => Some(cycle.clone()),
+                _ => None,
+            })
+            .expect("3-cycle not found");
+        assert_eq!(cycle.first(), cycle.last());
+        // The closed path visits all three ranges.
+        assert!(cycle.contains(&a) && cycle.contains(&b) && cycle.contains(&c), "{cycle:?}");
+        assert_eq!(cycle.len(), 4, "{cycle:?}");
+    }
+
+    /// A 4-cycle (A->B->C->D->A) spread over four clients.
+    #[test]
+    fn four_cycle_detected() {
+        let ranges = [(0u64, 8u64), (50, 8), (100, 8), (150, 8)];
+        let mut trace = Vec::new();
+        for owner in 0..4usize {
+            let first = ranges[owner];
+            let second = ranges[(owner + 1) % 4];
+            trace.push(grant(owner, first.0, first.1, 0));
+            trace.push(grant(owner, second.0, second.1, 1));
+            trace.push(release(owner, 1));
+            trace.push(release(owner, 0));
+        }
+        let r = analyze_lock_trace(&trace);
+        let cycle = r
+            .defects
+            .iter()
+            .find_map(|d| match d {
+                LockDefect::OrderCycle { cycle } => Some(cycle.clone()),
+                _ => None,
+            })
+            .expect("4-cycle not found");
+        assert_eq!(cycle.len(), 5, "{cycle:?}");
+        for rg in ranges {
+            assert!(cycle.contains(&rg), "{cycle:?} missing {rg:?}");
+        }
+    }
+
+    /// Overlapping-but-distinct ranges are distinct graph nodes: opposite
+    /// acquisition orders over them still form a cycle, even though the
+    /// ranges share blocks.
+    #[test]
+    fn cycle_through_overlapping_ranges_detected() {
+        let a = (0u64, 10u64); // [0, 10)
+        let b = (5u64, 10u64); // [5, 15) — overlaps A
+        let trace = vec![
+            grant(0, a.0, a.1, 0),
+            grant(0, b.0, b.1, 1), // same owner, overlap allowed: edge A -> B
+            release(0, 1),
+            release(0, 0),
+            grant(1, b.0, b.1, 0),
+            grant(1, a.0, a.1, 1), // edge B -> A
+            release(1, 1),
+            release(1, 0),
+        ];
+        let r = analyze_lock_trace(&trace);
+        assert!(
+            r.defects.iter().any(|d| matches!(d, LockDefect::OrderCycle { .. })),
+            "{:?}",
+            r.defects
+        );
+    }
+
+    /// Interleaved grant/release of overlapping ranges with slot reuse:
+    /// each client re-acquires a range overlapping one it just released,
+    /// never holding two at once — no edges, no cycle, clean.
+    #[test]
+    fn interleaved_overlapping_grant_release_is_clean() {
+        let trace = vec![
+            grant(0, 0, 10, 0),
+            release(0, 0),
+            grant(1, 5, 10, 0), // reuses slot 0, overlaps the released range
+            release(1, 0),
+            grant(0, 8, 4, 0),
+            release(0, 0),
+            grant(1, 0, 16, 0),
+            release(1, 0),
+        ];
+        let r = analyze_lock_trace(&trace);
+        assert!(r.clean(), "{:?}", r.defects);
+        assert_eq!(r.order_edges, 0);
+        assert_eq!(r.grants, 4);
+    }
+
+    /// Same-owner overlapping holds (allowed by the table) generate
+    /// order edges like any other pair, and a consistent global order
+    /// over them stays clean.
+    #[test]
+    fn overlapping_holds_consistent_order_clean() {
+        let trace = vec![
+            grant(0, 0, 10, 0),
+            grant(0, 5, 10, 1),
+            release(0, 1),
+            release(0, 0),
+            grant(1, 0, 10, 0),
+            grant(1, 5, 10, 1),
+            release(1, 1),
+            release(1, 0),
+        ];
+        let r = analyze_lock_trace(&trace);
+        assert!(r.clean(), "{:?}", r.defects);
+        assert_eq!(r.order_edges, 1);
+    }
+
     /// Nested same-order acquisitions are fine: A then B everywhere.
     #[test]
     fn consistent_order_is_clean() {

@@ -14,8 +14,12 @@
 //! A flagged line can be acknowledged with a `// det-ok:` comment on the
 //! line or the line above it (e.g. an error-path diagnostic where order
 //! is cosmetic); the scanner reports but does not count acknowledged
-//! sites. Test modules (from `#[cfg(test)]` onward) are skipped: tests
-//! assert determinism rather than provide it.
+//! sites. An acknowledgement whose scope (its own line and the next) no
+//! longer contains any hazard is itself flagged as **stale** — otherwise
+//! refactors silently leave behind comments that pre-approve a future
+//! hazard. Doc comments (`//!`, `///`) merely *mentioning* the marker are
+//! not acknowledgements. Test modules (from `#[cfg(test)]` onward) are
+//! skipped: tests assert determinism rather than provide it.
 
 use std::path::{Path, PathBuf};
 
@@ -127,18 +131,26 @@ fn iterates(line: &str, ident: &str) -> bool {
     false
 }
 
+// Built with concat! for the same self-matching reason as the pattern
+// tables above.
+const ACK_MARKER: &str = concat!("det", "-ok");
+
 /// Scan one file's text. `label` is used in the reported hazards.
 pub fn scan_source_text(label: &str, text: &str) -> Vec<Hazard> {
-    let mut hazards = Vec::new();
+    // Non-test prefix of the file (test modules sit at the bottom).
+    let lines: Vec<&str> =
+        text.lines().take_while(|l| !l.contains("#[cfg(test)]")).map(str::trim).collect();
     let mut tracked: Vec<String> = Vec::new();
-    let mut prev_ok = false;
-    for (i, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if line.contains("#[cfg(test)]") {
-            break; // test modules sit at the bottom of each file
+    let mut found: Vec<(usize, Hazard)> = Vec::new();
+    // has_hazard[i]: line i contains a hazard, acknowledged or not —
+    // what decides whether a nearby acknowledgement is live or stale.
+    let mut has_hazard = vec![false; lines.len()];
+    let mut acks: Vec<usize> = Vec::new();
+    for (i, &line) in lines.iter().enumerate() {
+        let is_doc = line.starts_with("//!") || line.starts_with("///");
+        if line.contains(ACK_MARKER) && !is_doc {
+            acks.push(i);
         }
-        let acked = prev_ok || line.contains(concat!("det", "-ok"));
-        prev_ok = line.contains(concat!("det", "-ok"));
         if line.starts_with("//") {
             continue;
         }
@@ -147,31 +159,55 @@ pub fn scan_source_text(label: &str, text: &str) -> Vec<Hazard> {
                 tracked.push(ident);
             }
         }
-        if acked {
-            continue;
-        }
         for pat in CLOCK_AND_ENTROPY {
             if line.contains(pat) {
-                hazards.push(Hazard {
-                    file: label.to_string(),
-                    line: i + 1,
-                    what: format!("forbidden call {pat}"),
-                    snippet: line.to_string(),
-                });
+                has_hazard[i] = true;
+                found.push((
+                    i,
+                    Hazard {
+                        file: label.to_string(),
+                        line: i + 1,
+                        what: format!("forbidden call {pat}"),
+                        snippet: line.to_string(),
+                    },
+                ));
             }
         }
         for ident in &tracked {
             if iterates(line, ident) {
-                hazards.push(Hazard {
-                    file: label.to_string(),
-                    line: i + 1,
-                    what: format!("unordered iteration of `{ident}`"),
-                    snippet: line.to_string(),
-                });
+                has_hazard[i] = true;
+                found.push((
+                    i,
+                    Hazard {
+                        file: label.to_string(),
+                        line: i + 1,
+                        what: format!("unordered iteration of `{ident}`"),
+                        snippet: line.to_string(),
+                    },
+                ));
             }
         }
     }
-    hazards
+    // An acknowledgement covers its own line and the next one; a hazard
+    // is reported unless covered, and a covering-nothing ack is stale.
+    let mut hazards: Vec<(usize, Hazard)> =
+        found.into_iter().filter(|(i, _)| !acks.iter().any(|&a| a == *i || a + 1 == *i)).collect();
+    for &a in &acks {
+        let live = has_hazard[a] || has_hazard.get(a + 1) == Some(&true);
+        if !live {
+            hazards.push((
+                a,
+                Hazard {
+                    file: label.to_string(),
+                    line: a + 1,
+                    what: format!("stale {ACK_MARKER} acknowledgement (no hazard in scope)"),
+                    snippet: lines[a].to_string(),
+                },
+            ));
+        }
+    }
+    hazards.sort_by_key(|(i, _)| *i);
+    hazards.into_iter().map(|(_, h)| h).collect()
 }
 
 /// Recursively scan every `.rs` file under `root` (skipping `tests/`,
@@ -263,6 +299,48 @@ let m: HashMap<u32, u32> = HashMap::new();
 for v in m.values() {
     show(v);
 }
+";
+        assert!(scan_source_text("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn inline_ack_on_hazard_line_accepted() {
+        let src = "let t = Instant::now(); // det-ok: test-only timing\n";
+        assert!(scan_source_text("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn stale_ack_is_flagged() {
+        // The hazard this comment once excused is gone; the leftover
+        // acknowledgement would pre-approve whatever lands next to it.
+        let src = "\
+fn f() {
+    // det-ok: error-path diagnostics, order is cosmetic
+    let x = compute();
+    use_it(x);
+}
+";
+        let h = scan_source_text("x.rs", src);
+        assert_eq!(h.len(), 1, "{h:?}");
+        assert!(h[0].what.contains("stale"), "{h:?}");
+        assert_eq!(h[0].line, 2);
+    }
+
+    #[test]
+    fn doc_comment_mention_is_not_an_ack() {
+        // A doc comment describing the marker is neither a live nor a
+        // stale acknowledgement — and does not excuse a hazard below it.
+        let src = "//! Lines may carry a `// det-ok:` acknowledgement.\nlet t = Instant::now();\n";
+        let h = scan_source_text("x.rs", src);
+        assert_eq!(h.len(), 1, "{h:?}");
+        assert!(h[0].what.contains("forbidden call"), "{h:?}");
+    }
+
+    #[test]
+    fn acked_hazard_produces_neither_finding() {
+        let src = "\
+let m: HashMap<u32, u32> = HashMap::new();
+for v in m.values() { show(v); } // det-ok: order is cosmetic here
 ";
         assert!(scan_source_text("x.rs", src).is_empty());
     }

@@ -13,7 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
-echo "==> verify_all (plan lint, lock order, layout conformance, determinism)"
-cargo run --release -p bench --bin verify_all
+echo "==> verify_all (plan lint, lock order, layout, determinism, model check, linearizability, crash consistency)"
+# --budget bounds schedules explored per model-checking scenario so the
+# gate stays fast even as scenarios grow.
+cargo run --release -p bench --bin verify_all -- --budget 20000
 
 echo "ci.sh: all gates passed"
