@@ -1,0 +1,78 @@
+//! Capture deterministic traces of the parallel-write benchmark on all
+//! four architectures and export them under `results/traces/`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin trace_dump [-- --smoke] \
+//!     [--clients N] [--repeats N] [--out DIR]
+//! ```
+//!
+//! `--smoke` runs a small 4×1 configuration and additionally asserts the
+//! exported traces exhibit the properties CI relies on (valid JSON,
+//! non-empty streams, RAID-x background drain, RAID-10 foreground
+//! mirroring), exiting non-zero on any violation.
+
+use bench::exp_trace::{render_summary, run_all, smoke_check, TraceConfig};
+
+struct Cli {
+    cfg: TraceConfig,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut args = std::env::args().skip(1).peekable();
+    let smoke = args.peek().map(String::as_str) == Some("--smoke");
+    let mut cli =
+        Cli { cfg: if smoke { TraceConfig::smoke() } else { TraceConfig::default() }, smoke };
+    if smoke {
+        args.next();
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--clients" => {
+                let n = args.next().ok_or("--clients requires a number")?;
+                cli.cfg.clients =
+                    n.parse().map_err(|e| format!("--clients: invalid number `{n}`: {e}"))?;
+            }
+            "--repeats" => {
+                let n = args.next().ok_or("--repeats requires a number")?;
+                cli.cfg.repeats =
+                    n.parse().map_err(|e| format!("--repeats: invalid number `{n}`: {e}"))?;
+            }
+            "--out" => {
+                cli.cfg.out_dir = args.next().ok_or("--out requires a directory")?;
+            }
+            "--smoke" => return Err("--smoke must be the first argument".to_string()),
+            "--help" | "-h" => {
+                return Err("usage: trace_dump [--smoke] [--clients N] [--repeats N] [--out DIR]"
+                    .to_string());
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let runs = match run_all(&cli.cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace export failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", render_summary(&runs));
+    if cli.smoke {
+        if let Err(msg) = smoke_check(&runs) {
+            eprintln!("trace_dump --smoke: FAILED: {msg}");
+            std::process::exit(1);
+        }
+        println!("trace_dump --smoke: OK");
+    }
+}

@@ -8,8 +8,9 @@
 //! analysis of a recorded lock trace, the layout conformance sweep, the
 //! determinism audit (double-run fingerprints plus the source-level
 //! hazard scan), the `raidx-model` interleaving checker, Wing–Gong
-//! linearizability over explored SIOS histories, and the OSM/checkpoint
-//! crash-consistency audit.
+//! linearizability over explored SIOS histories, the OSM/checkpoint
+//! crash-consistency audit, and the trace-determinism audit (the full
+//! observability event stream must replay byte-identically).
 //!
 //! `--pass <name>` (repeatable) runs only the named passes; `--budget <n>`
 //! bounds the schedules explored per model-checking scenario (default
@@ -19,7 +20,7 @@ use cdd::{CddConfig, IoSystem};
 use cluster::ClusterConfig;
 use raidx_core::Arch;
 use raidx_verify::{analyze_lock_trace, audit_workload, conformance_sweep, lint_io_paths};
-use raidx_verify::{crash_consistency, linearizability, model_check};
+use raidx_verify::{crash_consistency, linearizability, model_check, trace_determinism};
 use raidx_verify::{report::PassReport, source_scan};
 use sim_core::Engine;
 use std::path::Path;
@@ -104,7 +105,7 @@ fn determinism_pass() -> PassReport {
 }
 
 /// Registry of every pass, in execution order.
-const PASS_NAMES: [&str; 7] = [
+const PASS_NAMES: [&str; 8] = [
     "plan-lint",
     "lock-order",
     "layout-conformance",
@@ -112,6 +113,7 @@ const PASS_NAMES: [&str; 7] = [
     "model-check",
     "linearizability",
     "crash-consistency",
+    "trace-determinism",
 ];
 
 fn run_pass(name: &str, budget: u64) -> PassReport {
@@ -123,6 +125,7 @@ fn run_pass(name: &str, budget: u64) -> PassReport {
         "model-check" => model_check::run_pass(budget),
         "linearizability" => linearizability::run_pass(budget),
         "crash-consistency" => crash_consistency::run_pass(),
+        "trace-determinism" => trace_determinism::run_pass(),
         other => unreachable!("unregistered pass {other}"),
     }
 }
@@ -138,7 +141,9 @@ fn parse_args() -> Result<Cli, String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--pass" => {
-                let name = args.next().ok_or("--pass requires a name")?;
+                // Accept underscores as separators too (`--pass
+                // trace_determinism` names the same pass).
+                let name = args.next().ok_or("--pass requires a name")?.replace('_', "-");
                 if !PASS_NAMES.contains(&name.as_str()) {
                     return Err(format!(
                         "unknown pass `{name}`; available: {}",
@@ -184,6 +189,7 @@ fn main() {
         // det-ok: wall-clock spent per pass is reporting, not simulation.
         let t0 = std::time::Instant::now();
         let p = run_pass(name, cli.budget);
+        // det-ok: wall-clock readout of the per-pass stopwatch above.
         let secs = t0.elapsed().as_secs_f64();
         timings.push((name, secs));
         print!("{}", p.render());

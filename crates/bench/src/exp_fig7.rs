@@ -120,7 +120,8 @@ pub fn render_staircase() -> String {
     let latencies: Vec<f64> = jobs
         .iter()
         .filter(|j| j.label.starts_with("ckpt/"))
-        .map(|j| j.latency().as_secs_f64())
+        .filter_map(|j| j.try_latency())
+        .map(|d| d.as_secs_f64())
         .collect();
     let max = latencies.iter().cloned().fold(0.0, f64::max);
     let mut out = String::from(

@@ -19,6 +19,7 @@ pub mod exp_reliability;
 pub mod exp_scalability;
 pub mod exp_table2;
 pub mod exp_table3;
+pub mod exp_trace;
 pub mod exp_utilization;
 pub mod harness;
 pub mod microbench;

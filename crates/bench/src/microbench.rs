@@ -40,6 +40,7 @@ impl Bencher {
             for _ in 0..n {
                 black_box(f());
             }
+            // det-ok: wall-clock calibration check, not a simulation path.
             if t0.elapsed() >= budget || n >= 1 << 22 {
                 break;
             }
@@ -52,6 +53,7 @@ impl Bencher {
                 for _ in 0..n {
                     black_box(f());
                 }
+                // det-ok: wall-clock readout of the microbench stopwatch.
                 t0.elapsed().as_nanos() as f64 / n as f64
             })
             .collect();

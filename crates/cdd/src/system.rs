@@ -104,6 +104,14 @@ pub struct IoSystem {
     /// Bytes of read traffic dispatched per disk (drives the
     /// `LeastLoaded` balancing policy).
     read_load: Vec<u64>,
+    /// Per-op lock-table occupancy samples `(op sequence number, records
+    /// held while the op's grant was live)`, recorded only when
+    /// [`IoSystem::enable_lock_metrics`] has been called. Op sequence is
+    /// the timeline here — grants are scoped to the functional call, so
+    /// a sim-time series would read as permanently empty.
+    lock_samples: Option<Vec<(u64, usize)>>,
+    /// Monotone operation counter (writes and reads), for lock samples.
+    op_seq: u64,
 }
 
 impl IoSystem {
@@ -138,6 +146,8 @@ impl IoSystem {
             high_water: 0,
             pending_images: std::collections::BTreeMap::new(),
             read_load: vec![0; total_disks],
+            lock_samples: None,
+            op_seq: 0,
         }
     }
 
@@ -171,6 +181,30 @@ impl IoSystem {
         self.locks.grants()
     }
 
+    /// Lock-group acquisitions rejected due to an overlapping grant.
+    pub fn lock_conflicts(&self) -> u64 {
+        self.locks.conflicts()
+    }
+
+    /// Lock-group records currently held (diagnostics; normally zero at
+    /// rest since grants are scoped to each functional call).
+    pub fn locks_held(&self) -> usize {
+        self.locks.held().count()
+    }
+
+    /// Start recording per-op lock-table occupancy samples (see
+    /// [`IoSystem::take_lock_samples`]); clears any previous samples.
+    pub fn enable_lock_metrics(&mut self) {
+        self.lock_samples = Some(Vec::new());
+    }
+
+    /// Take the recorded `(op sequence, lock records held)` samples,
+    /// leaving recording enabled. The `trace_dump` exporter turns these
+    /// into the CDD lock-table occupancy series.
+    pub fn take_lock_samples(&mut self) -> Vec<(u64, usize)> {
+        self.lock_samples.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
     /// Start recording the lock-group grant/release trace (consumed by
     /// the `raidx-verify` lock-order analyzer).
     pub fn enable_lock_trace(&mut self) {
@@ -189,6 +223,17 @@ impl IoSystem {
 
     fn ops(&self) -> OpBuilder<'_> {
         OpBuilder { cluster: &self.cluster, cfg: &self.cfg }
+    }
+
+    /// Record one `(op sequence, records held)` sample if lock metrics
+    /// recording is on. Called while the current op's grant is live.
+    fn sample_locks(&mut self) {
+        let held = self.locks.held().count();
+        let seq = self.op_seq;
+        self.op_seq += 1;
+        if let Some(samples) = self.lock_samples.as_mut() {
+            samples.push((seq, held));
+        }
     }
 
     fn validate_range(&self, lb0: u64, nblocks: u64) -> Result<(), IoError> {
@@ -213,6 +258,7 @@ impl IoSystem {
         // Consistency module: atomically acquire the lock group, held for
         // the duration of the (logically instantaneous) functional update.
         let lock = self.locks.acquire(client, lb0, nblocks).map_err(IoError::Lock)?;
+        self.sample_locks();
         let result = self.write_locked(client, lb0, nblocks, data);
         self.locks.release(lock);
         let body = result?;

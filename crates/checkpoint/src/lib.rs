@@ -142,7 +142,7 @@ pub fn run_striped_checkpoint<S: BlockStore>(
         let jobs = engine.jobs();
         let this_round = &jobs[jobs.len() - cfg.processes..];
         for (p, j) in this_round.iter().enumerate() {
-            let blocked = j.latency().as_secs_f64();
+            let blocked = j.try_latency().map_or(0.0, |d| d.as_secs_f64());
             blocked_total += blocked;
             if p / cfg.stagger_width == 0 {
                 first_group_blocked += blocked;

@@ -12,6 +12,7 @@ use crate::demand::Demand;
 use crate::plan::{BarrierId, Plan};
 use crate::resource::{Pending, ResourceId, ResourceSlot, ResourceStats, ServiceModel};
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{TracePoint, Tracer};
 use crate::validate::{lint_jobs, lint_plan, PlanContext, PlanError, Strictness};
 
 /// Opaque handle to a spawned foreground job.
@@ -30,6 +31,13 @@ impl JobId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TaskId(pub(crate) u32);
 
+impl TaskId {
+    /// Index of this task's slot in the engine's task table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// Completion record for a foreground job.
 #[derive(Debug, Clone)]
 pub struct JobRecord {
@@ -44,8 +52,15 @@ pub struct JobRecord {
 
 impl JobRecord {
     /// Foreground latency of the job; panics if the job has not finished.
+    /// Prefer [`JobRecord::try_latency`] anywhere an unfinished job can be
+    /// observed (deadlocked runs, mid-run inspection, partial drains).
     pub fn latency(&self) -> SimDuration {
-        self.end.expect("job not finished").since(self.start)
+        self.try_latency().expect("job not finished")
+    }
+
+    /// Foreground latency of the job, or `None` if it has not finished.
+    pub fn try_latency(&self) -> Option<SimDuration> {
+        Some(self.end?.since(self.start))
     }
 }
 
@@ -136,6 +151,9 @@ pub struct Engine {
     live_foreground: usize,
     live_total: usize,
     foreground_end: SimTime,
+    /// Optional observer of engine events; `None` keeps every emission
+    /// site a single branch (the zero-cost-when-disabled guarantee).
+    tracer: Option<Box<dyn Tracer>>,
 }
 
 impl Default for Engine {
@@ -159,7 +177,20 @@ impl Engine {
             live_foreground: 0,
             live_total: 0,
             foreground_end: SimTime::ZERO,
+            tracer: None,
         }
+    }
+
+    /// Install a [`Tracer`] that observes every engine event from now on
+    /// (replacing any previous one). See [`crate::trace`] for the event
+    /// model; [`crate::trace::EventLog`] is the stock recorder.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Remove and return the installed tracer, restoring no-op tracing.
+    pub fn clear_tracer(&mut self) -> Option<Box<dyn Tracer>> {
+        self.tracer.take()
     }
 
     /// Current simulated time.
@@ -244,6 +275,10 @@ impl Engine {
         }
         let job = JobId(u32::try_from(self.jobs.len()).expect("too many jobs"));
         self.jobs.push(JobRecord { label: label.into(), start, end: None });
+        if let Some(tr) = self.tracer.as_mut() {
+            let label = self.jobs[job.0 as usize].label.as_str();
+            tr.record(start, TracePoint::JobSpawned { job, label });
+        }
         self.live_foreground += 1;
         let tid = self.new_task(plan, None, Some(job), false);
         self.schedule(start, EventKind::StartJob(tid));
@@ -316,14 +351,18 @@ impl Engine {
             job,
             detached,
         };
-        if let Some(idx) = self.free_tasks.pop() {
+        let tid = if let Some(idx) = self.free_tasks.pop() {
             self.tasks[idx as usize] = Some(task);
             TaskId(idx)
         } else {
             let idx = u32::try_from(self.tasks.len()).expect("too many tasks");
             self.tasks.push(Some(task));
             TaskId(idx)
+        };
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.record(self.now, TracePoint::TaskSpawned { task: tid, parent, detached });
         }
+        tid
     }
 
     /// Drive `tid` forward until it suspends or completes.
@@ -360,9 +399,12 @@ impl Engine {
                         continue;
                     }
                     task.join_remaining = v.len();
+                    // Children of a detached (background) subtree are
+                    // themselves background work.
+                    let det = task.detached;
                     self.tasks[tid.0 as usize] = Some(task);
                     for child in v {
-                        let ct = self.new_task(child, Some(tid), None, false);
+                        let ct = self.new_task(child, Some(tid), None, det);
                         self.advance(ct);
                     }
                     return;
@@ -381,13 +423,27 @@ impl Engine {
                         .unwrap_or_else(|| panic!("barrier {id:?} not registered"));
                     if b.waiting.len() + 1 == b.needed {
                         b.cycles += 1;
+                        let cycle = b.cycles;
                         let waiters = std::mem::take(&mut b.waiting);
+                        let released = waiters.len() + 1;
                         for w in waiters {
                             self.schedule(self.now, EventKind::Resume(w));
+                        }
+                        if let Some(tr) = self.tracer.as_mut() {
+                            tr.record(
+                                self.now,
+                                TracePoint::BarrierOpened { barrier: id, cycle, released },
+                            );
                         }
                         // current task falls through the barrier
                     } else {
                         b.waiting.push(tid);
+                        if let Some(tr) = self.tracer.as_mut() {
+                            tr.record(
+                                self.now,
+                                TracePoint::BarrierWaited { barrier: id, task: tid },
+                            );
+                        }
                         self.tasks[tid.0 as usize] = Some(task);
                         return;
                     }
@@ -399,8 +455,14 @@ impl Engine {
     fn finish_task(&mut self, tid: TaskId, task: Task) {
         self.live_total -= 1;
         self.free_tasks.push(tid.0);
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.record(self.now, TracePoint::TaskFinished { task: tid, detached: task.detached });
+        }
         if let Some(job) = task.job {
             self.jobs[job.0 as usize].end = Some(self.now);
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.record(self.now, TracePoint::JobFinished { job });
+            }
             self.live_foreground -= 1;
             if self.now > self.foreground_end {
                 self.foreground_end = self.now;
@@ -417,6 +479,7 @@ impl Engine {
 
     fn enqueue(&mut self, rid: ResourceId, tid: TaskId, demand: Demand) {
         let now = self.now;
+        let detached = self.tasks[tid.0 as usize].as_ref().is_some_and(|t| t.detached);
         let slot = &mut self.resources[rid.index()];
         let pending = Pending { task: tid, demand, enqueued: now };
         let mut start_at = None;
@@ -425,14 +488,33 @@ impl Engine {
             slot.stats.busy += st;
             slot.stats.ops += 1;
             slot.stats.bytes += pending.demand.bytes();
-            slot.current = Some(pending);
             start_at = Some(now + st);
-        } else {
-            slot.queue.push_back(pending);
         }
-        let depth = slot.depth();
+        let depth = slot.depth() + 1;
         if depth > slot.stats.max_queue {
             slot.stats.max_queue = depth;
+        }
+        if let Some(tr) = self.tracer.as_mut() {
+            let demand = &pending.demand;
+            tr.record(now, TracePoint::Enqueued { res: rid, task: tid, demand, depth, detached });
+            if let Some(done_at) = start_at {
+                tr.record(
+                    now,
+                    TracePoint::ServiceStarted {
+                        res: rid,
+                        task: tid,
+                        demand,
+                        waited: SimDuration::ZERO,
+                        done_at,
+                        detached,
+                    },
+                );
+            }
+        }
+        if start_at.is_some() {
+            slot.current = Some(pending);
+        } else {
+            slot.queue.push_back(pending);
         }
         if let Some(t) = start_at {
             self.schedule(t, EventKind::ResourceDone(rid));
@@ -457,13 +539,50 @@ impl Engine {
             slot.queue.remove(idx.min(slot.queue.len() - 1))
         };
         if let Some(next) = next {
-            slot.stats.queue_wait += now.since(next.enqueued);
+            let waited = now.since(next.enqueued);
+            slot.stats.queue_wait += waited;
             let st = slot.model.service_time(&next.demand, now);
             slot.stats.busy += st;
             slot.stats.ops += 1;
             slot.stats.bytes += next.demand.bytes();
+            let done_at = now + st;
+            if let Some(tr) = self.tracer.as_mut() {
+                let d_det = self.tasks[done.task.0 as usize].as_ref().is_some_and(|t| t.detached);
+                let n_det = self.tasks[next.task.0 as usize].as_ref().is_some_and(|t| t.detached);
+                tr.record(
+                    now,
+                    TracePoint::ServiceFinished {
+                        res: rid,
+                        task: done.task,
+                        demand: &done.demand,
+                        detached: d_det,
+                    },
+                );
+                tr.record(
+                    now,
+                    TracePoint::ServiceStarted {
+                        res: rid,
+                        task: next.task,
+                        demand: &next.demand,
+                        waited,
+                        done_at,
+                        detached: n_det,
+                    },
+                );
+            }
             slot.current = Some(next);
-            next_done = Some(now + st);
+            next_done = Some(done_at);
+        } else if let Some(tr) = self.tracer.as_mut() {
+            let d_det = self.tasks[done.task.0 as usize].as_ref().is_some_and(|t| t.detached);
+            tr.record(
+                now,
+                TracePoint::ServiceFinished {
+                    res: rid,
+                    task: done.task,
+                    demand: &done.demand,
+                    detached: d_det,
+                },
+            );
         }
         if let Some(t) = next_done {
             self.schedule(t, EventKind::ResourceDone(rid));

@@ -41,17 +41,23 @@ pub mod check;
 pub mod demand;
 pub mod engine;
 pub mod explore;
+pub mod export;
+pub mod metrics;
 pub mod plan;
 pub mod resource;
 pub mod rng;
 pub mod time;
+pub mod trace;
 pub mod validate;
 
 pub use demand::Demand;
 pub use engine::{DeadlockError, Engine, JobId, JobRecord, RunReport, TaskId};
 pub use explore::{Exploration, Explorer, Failure, FailureKind, Footprint, Model, ThreadId};
+pub use export::{chrome_trace_json, json_is_valid, metrics_csv, metrics_json, utilization_csv};
+pub use metrics::{Histogram, MetricsRegistry, TimeSeries};
 pub use plan::{BarrierId, Plan};
 pub use resource::{FixedRate, ResourceId, ResourceStats, ServiceModel};
 pub use rng::SplitMix64;
 pub use time::{SimDuration, SimTime};
+pub use trace::{DemandKind, EventLog, NoopTracer, TimedEvent, TraceEvent, TracePoint, Tracer};
 pub use validate::{PlanContext, PlanError, Strictness};

@@ -1,7 +1,7 @@
 #![warn(missing_docs)]
 //! # raidx-verify — static analysis and invariant verification
 //!
-//! Seven offline passes that check the reproduction's correctness
+//! Eight offline passes that check the reproduction's correctness
 //! properties *before and between* simulations, independently of the unit
 //! tests:
 //!
@@ -32,9 +32,15 @@
 //! 7. [`crash_consistency`] — enumerates crash points inside OSM
 //!    mirror flushes and two-level checkpoint commits and verifies both
 //!    recovery paths always reconstruct a consistent image.
+//! 8. [`trace_determinism`] — double-runs the seeded workload with the
+//!    [`sim_core::trace::EventLog`] tracer installed and fingerprints
+//!    the full observability event stream (every queue arrival, service
+//!    start/finish and barrier opening must replay byte-identically),
+//!    plus a perturbation canary that proves an injected event reorder
+//!    is detected.
 //!
 //! Every pass is a library API first; `cargo run -p bench --bin
-//! verify_all` drives all seven (filterable with `--pass <name>`) and
+//! verify_all` drives all eight (filterable with `--pass <name>`) and
 //! exits non-zero on any finding.
 
 pub mod crash_consistency;
@@ -46,6 +52,7 @@ pub mod model_check;
 pub mod plan_lint;
 pub mod report;
 pub mod source_scan;
+pub mod trace_determinism;
 
 pub use determinism::{audit_workload, engine_fingerprint, DeterminismReport};
 pub use layout_check::{conformance_sweep, SweepRow};
@@ -53,3 +60,4 @@ pub use linearizability::check_history;
 pub use lock_order::{analyze_lock_trace, LockAuditReport, LockDefect};
 pub use plan_lint::lint_io_paths;
 pub use report::{Check, PassReport};
+pub use trace_determinism::{audit_trace, diff_streams, stream_fingerprint, TraceAudit};

@@ -5,8 +5,9 @@
 //! simulation crates before they ever fire in a run:
 //!
 //! * wall clocks and OS entropy (`Instant::now`, `SystemTime`,
-//!   `thread_rng`, `rand::random`) — the simulator owns time and
-//!   randomness, nothing else may;
+//!   `.elapsed(`, `UNIX_EPOCH`, `thread_rng`, `rand::random`) — the
+//!   simulator owns time and randomness, nothing else may; trace and
+//!   export paths in particular must stamp simulated nanoseconds only;
 //! * iteration over `HashMap`/`HashSet` bindings — iteration order is
 //!   randomized per process, so draining one into events, plans or error
 //!   lists silently breaks replay.
@@ -43,12 +44,14 @@ impl std::fmt::Display for Hazard {
 }
 
 // Built with concat! so the scanner does not flag its own pattern table.
-const CLOCK_AND_ENTROPY: [&str; 5] = [
+const CLOCK_AND_ENTROPY: [&str; 7] = [
     concat!("thread", "_rng"),
     concat!("Instant", "::now"),
     concat!("System", "Time"),
     concat!("rand", "::random"),
     concat!("random", "_state"),
+    concat!(".ela", "psed("),
+    concat!("UNIX_", "EPOCH"),
 ];
 
 const UNORDERED_TYPES: [&str; 2] = [concat!("Hash", "Map"), concat!("Hash", "Set")];
@@ -254,6 +257,18 @@ mod tests {
         let h = scan_source_text("x.rs", src);
         assert_eq!(h.len(), 2, "{h:?}");
         assert_eq!(h[0].line, 2);
+    }
+
+    #[test]
+    fn flags_elapsed_and_epoch_wall_clocks() {
+        // Trace/export paths must not stamp wall time: `.elapsed()` on a
+        // stopwatch and epoch arithmetic are both flagged.
+        let src = "fn f(t0: Instant) {\n    let d = t0.elapsed();\n    \
+                   let e = now.duration_since(UNIX_EPOCH);\n}\n";
+        let h = scan_source_text("x.rs", src);
+        assert_eq!(h.len(), 2, "{h:?}");
+        assert!(h[0].what.contains(concat!("ela", "psed")), "{h:?}");
+        assert!(h[1].what.contains(concat!("UNIX", "_EPOCH")), "{h:?}");
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Pass 8 — trace-stream determinism.
+//!
+//! The determinism pass (4a) fingerprints *end-of-run aggregates*; this
+//! pass tightens the property to the full observability event stream:
+//! with an [`EventLog`] tracer installed, a same-seed double run must
+//! emit **byte-identical** event sequences — every job spawn, queue
+//! arrival, service start/finish and barrier opening, in the same order
+//! at the same simulated nanosecond. This is the property the
+//! Perfetto/CSV exporters rely on (a trace you cannot reproduce is a
+//! trace you cannot debug from), and it catches a strictly larger class
+//! of defects than the aggregate audit: two runs can agree on totals
+//! while interleaving events differently.
+//!
+//! Besides the per-architecture double runs, the pass runs a
+//! *perturbation canary*: it injects a nondeterministic event ordering
+//! (swapping one adjacent event pair) into a copy of the recorded
+//! stream and asserts the comparator catches it — guarding against the
+//! fingerprint silently degenerating into a constant.
+
+use cdd::{CddConfig, IoSystem};
+use cluster::ClusterConfig;
+use raidx_core::Arch;
+use sim_core::trace::{render_event, EventLog, TimedEvent};
+use sim_core::Engine;
+use workloads::parallel_io::{run_parallel_io, IoPattern, ParallelIoConfig};
+
+use crate::report::PassReport;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a fingerprint over a rendered event stream.
+pub fn stream_fingerprint(events: &[TimedEvent]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for ev in events {
+        for &b in render_event(ev).as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h ^= u64::from(b'\n');
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// First divergence between two event streams, as
+/// `(index, run A line, run B line)`; length mismatches are reported at
+/// the first missing index.
+pub fn diff_streams(a: &[TimedEvent], b: &[TimedEvent]) -> Option<(usize, String, String)> {
+    for (i, (ea, eb)) in a.iter().zip(b.iter()).enumerate() {
+        if ea != eb {
+            return Some((i, render_event(ea), render_event(eb)));
+        }
+    }
+    if a.len() != b.len() {
+        let i = a.len().min(b.len());
+        return Some((i, format!("{} events", a.len()), format!("{} events", b.len())));
+    }
+    None
+}
+
+/// Outcome of a double-run trace audit for one architecture.
+#[derive(Debug, Clone)]
+pub struct TraceAudit {
+    /// Architecture audited.
+    pub arch: Arch,
+    /// Fingerprint of the first run's event stream.
+    pub fingerprint_a: u64,
+    /// Fingerprint of the second run's event stream.
+    pub fingerprint_b: u64,
+    /// Events recorded by the first run.
+    pub events: usize,
+    /// First differing event, if any.
+    pub divergence: Option<(usize, String, String)>,
+}
+
+impl TraceAudit {
+    /// True when both runs emitted identical event streams.
+    pub fn deterministic(&self) -> bool {
+        self.fingerprint_a == self.fingerprint_b && self.divergence.is_none()
+    }
+}
+
+fn one_traced_run(arch: Arch) -> Vec<TimedEvent> {
+    let mut engine = Engine::new();
+    let mut cc = ClusterConfig::shape(4, 2);
+    cc.disk.capacity = 8 << 20;
+    let mut sys = IoSystem::new(&mut engine, cc, arch, CddConfig::default());
+    let log = EventLog::new();
+    engine.set_tracer(Box::new(log.clone()));
+    let cfg = ParallelIoConfig {
+        clients: 4,
+        pattern: IoPattern::LargeWrite,
+        large_bytes: 256 << 10,
+        repeats: 2,
+        ..Default::default()
+    };
+    run_parallel_io(&mut engine, &mut sys, &cfg).expect("workload failed");
+    log.events()
+}
+
+/// Run the Figure-5 style workload twice with tracing enabled and
+/// compare the full event streams.
+pub fn audit_trace(arch: Arch) -> TraceAudit {
+    let a = one_traced_run(arch);
+    let b = one_traced_run(arch);
+    TraceAudit {
+        arch,
+        fingerprint_a: stream_fingerprint(&a),
+        fingerprint_b: stream_fingerprint(&b),
+        events: a.len(),
+        divergence: diff_streams(&a, &b),
+    }
+}
+
+/// Run the full trace-determinism pass: a double-run audit per
+/// architecture plus the perturbation canary.
+pub fn run_pass() -> PassReport {
+    let mut report = PassReport::new("trace-determinism");
+    let mut canary_stream: Vec<TimedEvent> = Vec::new();
+    for arch in Arch::ALL {
+        let audit = audit_trace(arch);
+        let name = format!("{arch:?} traced double run");
+        let detail = match &audit.divergence {
+            None => format!(
+                "fingerprint {:016x}, {} events, stream byte-identical",
+                audit.fingerprint_a, audit.events
+            ),
+            Some((i, a, b)) => format!("diverged at event {i}: `{a}` vs `{b}`"),
+        };
+        report.push(name, audit.deterministic() && audit.events > 0, detail);
+        if canary_stream.is_empty() {
+            canary_stream = one_traced_run(arch);
+        }
+    }
+    // Perturbation canary: an injected reorder must be caught.
+    if canary_stream.len() >= 2 {
+        let mut perturbed = canary_stream.clone();
+        let mid = perturbed.len() / 2;
+        perturbed.swap(mid - 1, mid);
+        let caught = diff_streams(&canary_stream, &perturbed).is_some()
+            && stream_fingerprint(&canary_stream) != stream_fingerprint(&perturbed);
+        report.push(
+            "perturbation canary",
+            caught,
+            if caught {
+                "injected event reorder detected by diff and fingerprint".to_string()
+            } else {
+                "injected event reorder NOT detected".to_string()
+            },
+        );
+    } else {
+        report.fail("perturbation canary", "stream too short to perturb");
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::plan::use_res;
+    use sim_core::trace::{TracePoint, Tracer};
+    use sim_core::{Demand, FixedRate, SimTime};
+
+    #[test]
+    fn all_archs_trace_deterministic() {
+        for arch in Arch::ALL {
+            let audit = audit_trace(arch);
+            assert!(audit.deterministic(), "{arch:?} trace diverged at {:?}", audit.divergence);
+            assert!(audit.events > 0, "{arch:?} recorded no events");
+        }
+    }
+
+    #[test]
+    fn pass_is_green() {
+        let report = run_pass();
+        assert!(report.all_ok(), "{}", report.render());
+    }
+
+    /// A defective tracer that injects nondeterministic event ordering:
+    /// it delays one event out of every seven by one slot, with the
+    /// perturbation phase taken from a process-global counter, so two
+    /// "identical" runs interleave their streams differently — exactly
+    /// the defect class this pass exists to catch.
+    struct JitterTracer {
+        out: std::sync::Arc<std::sync::Mutex<Vec<TimedEvent>>>,
+        held: Option<TimedEvent>,
+        phase: usize,
+        count: usize,
+    }
+
+    impl Tracer for JitterTracer {
+        fn record(&mut self, at: SimTime, point: TracePoint<'_>) {
+            let owned = TimedEvent { at, event: sim_core::TraceEvent::from_point(point) };
+            self.count += 1;
+            let mut out = self.out.lock().expect("jitter buffer");
+            if let Some(held) = self.held.take() {
+                // Emit the delayed event after the current one: a reorder.
+                out.push(owned);
+                out.push(held);
+            } else if self.count % 7 == self.phase {
+                self.held = Some(owned);
+            } else {
+                out.push(owned);
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_nondeterministic_ordering_is_caught() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::{Arc, Mutex};
+        static PHASE: AtomicUsize = AtomicUsize::new(1);
+        let run = || {
+            let mut engine = Engine::new();
+            let d = engine.add_resource("disk", Box::new(FixedRate::rate(8 << 20)));
+            let buf = Arc::new(Mutex::new(Vec::new()));
+            let jitter = JitterTracer {
+                out: Arc::clone(&buf),
+                held: None,
+                phase: PHASE.fetch_add(1, Ordering::SeqCst) % 7,
+                count: 0,
+            };
+            engine.set_tracer(Box::new(jitter));
+            for i in 0..8u64 {
+                engine.spawn_job(
+                    format!("j{i}"),
+                    use_res(d, Demand::DiskWrite { offset: i * 4096, bytes: 4096 }),
+                );
+            }
+            engine.run().expect("run");
+            let events = buf.lock().expect("jitter buffer").clone();
+            events
+        };
+        let a = run();
+        let b = run();
+        assert!(
+            diff_streams(&a, &b).is_some(),
+            "injected nondeterministic ordering was not detected"
+        );
+        assert_ne!(stream_fingerprint(&a), stream_fingerprint(&b));
+    }
+
+    #[test]
+    fn fingerprint_observes_event_content_and_order() {
+        let mk = |bytes: u64| TimedEvent {
+            at: SimTime(10),
+            event: sim_core::TraceEvent::ServiceFinished {
+                res: 0,
+                task: 1,
+                kind: sim_core::DemandKind::DiskWrite,
+                bytes,
+                detached: false,
+            },
+        };
+        let a = vec![mk(1), mk(2)];
+        let b = vec![mk(2), mk(1)];
+        assert_ne!(stream_fingerprint(&a), stream_fingerprint(&b));
+        assert!(diff_streams(&a, &b).is_some());
+        assert_eq!(diff_streams(&a, &a.clone()), None);
+    }
+}

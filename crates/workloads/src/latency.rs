@@ -73,7 +73,8 @@ pub fn measure_latency<S: BlockStore>(
         }
         engine.run().expect("latency round deadlocked");
         for job in &engine.jobs()[before..] {
-            samples.push(job.latency().as_secs_f64());
+            let lat = job.try_latency().expect("latency round job unfinished after run");
+            samples.push(lat.as_secs_f64());
         }
     }
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;

@@ -154,8 +154,14 @@ pub fn run_parallel_io<S: BlockStore>(
         engine.spawn_job(format!("client{c}/{}", cfg.pattern.label()), seq(steps));
     }
     let report = engine.run().expect("benchmark deadlocked");
-    let latencies: f64 =
-        engine.jobs().iter().rev().take(clients).map(|j| j.latency().as_secs_f64()).sum();
+    let latencies: f64 = engine
+        .jobs()
+        .iter()
+        .rev()
+        .take(clients)
+        .filter_map(|j| j.try_latency())
+        .map(|d| d.as_secs_f64())
+        .sum();
     // Drain any write-behind image groups still buffered (outside the
     // foreground window, like the CDD's idle-time flusher).
     let flush = store.flush();

@@ -13,7 +13,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
-echo "==> verify_all (plan lint, lock order, layout, determinism, model check, linearizability, crash consistency)"
+echo "==> trace_dump --smoke (trace/metrics export self-check)"
+cargo run --release -p bench --bin trace_dump -- --smoke
+
+echo "==> verify_all (plan lint, lock order, layout, determinism, model check, linearizability, crash consistency, trace determinism)"
 # --budget bounds schedules explored per model-checking scenario so the
 # gate stays fast even as scenarios grow.
 cargo run --release -p bench --bin verify_all -- --budget 20000
