@@ -4,16 +4,13 @@
 
 use bench::microbench::{black_box, Criterion, Throughput};
 use bench::{criterion_group, criterion_main};
-use cdd::{CddConfig, IoSystem, LockGroupTable};
-use cluster::{xor_into, ClusterConfig};
+use cdd::testkit;
+use cdd::LockGroupTable;
+use cluster::xor_into;
 use raidx_core::Arch;
-use sim_core::Engine;
 
-fn small_cluster() -> ClusterConfig {
-    let mut cc = ClusterConfig::trojans();
-    cc.disk.capacity = 1 << 30;
-    cc
-}
+/// Trojans-class cluster with 1 GB disks so far-striding writes fit.
+const BENCH_DISK: u64 = 1 << 30;
 
 fn bench_write_path(c: &mut Criterion) {
     let mut g = c.benchmark_group("write_path_2MB");
@@ -21,8 +18,7 @@ fn bench_write_path(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(bytes));
     for arch in [Arch::Chained, Arch::Raid5, Arch::Raid10, Arch::RaidX] {
         g.bench_function(arch.name(), |b| {
-            let mut e = Engine::new();
-            let mut s = IoSystem::new(&mut e, small_cluster(), arch, CddConfig::default());
+            let (_e, mut s) = testkit::trojans_with_capacity(arch, BENCH_DISK);
             let payload = vec![0xABu8; bytes as usize];
             let mut lb0 = 0u64;
             b.iter(|| {
@@ -41,8 +37,7 @@ fn bench_read_path(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(bytes));
     for arch in [Arch::Chained, Arch::RaidX] {
         g.bench_function(arch.name(), |b| {
-            let mut e = Engine::new();
-            let mut s = IoSystem::new(&mut e, small_cluster(), arch, CddConfig::default());
+            let (_e, mut s) = testkit::trojans_with_capacity(arch, BENCH_DISK);
             let payload = vec![0xCDu8; bytes as usize];
             s.write(0, 0, &payload).expect("bench setup failed");
             b.iter(|| {
@@ -51,6 +46,42 @@ fn bench_read_path(c: &mut Criterion) {
             })
         });
     }
+    g.finish();
+}
+
+/// The front end's run coalescing: one contiguous 64-block write admits
+/// as a single run, while 64 single-block writes pay per-request
+/// validation, locking and plan assembly. The gap is the coalescing win.
+fn bench_coalesced_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coalesced_write_2MB");
+    let bytes = 2u64 << 20;
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("one_64_block_write", |b| {
+        let (_e, mut s) = testkit::trojans_with_capacity(Arch::RaidX, BENCH_DISK);
+        let bs = s.block_size() as usize;
+        let payload = vec![0xEEu8; 64 * bs];
+        let mut lb0 = 0u64;
+        b.iter(|| {
+            let plan = s.write(0, lb0, &payload).expect("bench setup failed");
+            lb0 = (lb0 + 64) % 65536;
+            black_box(plan.leaf_count())
+        })
+    });
+    g.bench_function("sixty_four_1_block_writes", |b| {
+        let (_e, mut s) = testkit::trojans_with_capacity(Arch::RaidX, BENCH_DISK);
+        let bs = s.block_size() as usize;
+        let payload = vec![0xEEu8; bs];
+        let mut lb0 = 0u64;
+        b.iter(|| {
+            let mut leaves = 0usize;
+            for i in 0..64u64 {
+                let plan = s.write(0, lb0 + i, &payload).expect("bench setup failed");
+                leaves += plan.leaf_count();
+            }
+            lb0 = (lb0 + 64) % 65536;
+            black_box(leaves)
+        })
+    });
     g.finish();
 }
 
@@ -83,5 +114,12 @@ fn bench_xor_kernel(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_write_path, bench_read_path, bench_lock_table, bench_xor_kernel);
+criterion_group!(
+    benches,
+    bench_write_path,
+    bench_read_path,
+    bench_coalesced_write,
+    bench_lock_table,
+    bench_xor_kernel
+);
 criterion_main!(benches);

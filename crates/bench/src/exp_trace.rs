@@ -47,6 +47,11 @@ pub struct TraceConfig {
     pub write_bytes: u64,
     /// Utilization window width (widened automatically for long runs).
     pub tick: SimDuration,
+    /// OSM write-behind backlog bound handed to the RAID architectures'
+    /// [`CddConfig::max_image_backlog`] (`None` = the paper's unbounded
+    /// queue). With a bound set, the exported `cdd.image_backlog_by_op`
+    /// gauge is clamped at the bound.
+    pub max_image_backlog: Option<usize>,
     /// Output directory for the exported files.
     pub out_dir: String,
 }
@@ -61,6 +66,7 @@ impl Default for TraceConfig {
             repeats: 2,
             write_bytes: 1 << 20,
             tick: SimDuration::from_micros(500),
+            max_image_backlog: None,
             out_dir: "results/traces".to_string(),
         }
     }
@@ -106,6 +112,10 @@ pub struct TraceRun {
     pub locks: Option<(u64, u64)>,
     /// CDD per-op held-lock samples recorded while grants were live.
     pub lock_samples: usize,
+    /// Peak of the per-op image-backlog gauge, in buffered blocks
+    /// (`None` for NFS). With [`TraceConfig::max_image_backlog`] set this
+    /// never exceeds the bound.
+    pub image_backlog_peak: Option<usize>,
     /// Whether the emitted Chrome trace parsed as valid JSON.
     pub trace_json_valid: bool,
     /// Paths written, in `trace/util/series/metrics` order.
@@ -136,20 +146,23 @@ pub fn run_arch(kind: SystemKind, cfg: &TraceConfig) -> std::io::Result<TraceRun
     };
     // RAID kinds keep the concrete `IoSystem` in hand so the CDD lock
     // metrics can be sampled; NFS goes through the generic builder.
-    let (bw, locks, lock_samples) = match kind {
+    let (bw, locks, lock_samples, backlog_samples) = match kind {
         SystemKind::Raid(arch) => {
-            let mut sys = IoSystem::new(&mut engine, cfg.cc.clone(), arch, CddConfig::default());
+            let cdd_cfg =
+                CddConfig { max_image_backlog: cfg.max_image_backlog, ..CddConfig::default() };
+            let mut sys = IoSystem::new(&mut engine, cfg.cc.clone(), arch, cdd_cfg);
             sys.enable_lock_metrics();
             engine.set_tracer(Box::new(log.clone()));
             let bw = run_parallel_io(&mut engine, &mut sys, &io_cfg).expect("traced run failed");
             let samples = sys.take_lock_samples();
-            (bw, Some((sys.lock_grants(), sys.lock_conflicts())), samples)
+            let backlog = sys.take_backlog_samples();
+            (bw, Some((sys.lock_grants(), sys.lock_conflicts())), samples, Some(backlog))
         }
         SystemKind::Nfs => {
             let mut store = build_store(&mut engine, cfg.cc.clone(), kind);
             engine.set_tracer(Box::new(log.clone()));
             let bw = run_parallel_io(&mut engine, &mut store, &io_cfg).expect("traced run failed");
-            (bw, None, Vec::new())
+            (bw, None, Vec::new(), None)
         }
     };
     let events = log.take();
@@ -162,6 +175,16 @@ pub fn run_arch(kind: SystemKind, cfg: &TraceConfig) -> std::io::Result<TraceRun
         let series = reg.gauge_mut("cdd.locks_held_by_op");
         for &(op, held) in &lock_samples {
             series.push(SimTime(op), held as f64);
+        }
+    }
+    if let Some(samples) = &backlog_samples {
+        // Post-op buffered image blocks, keyed by op sequence. This is
+        // the series the backlog bound clamps (the time-domain
+        // `osm.flush_backlog_bytes` gauge tracks detached in-flight
+        // writes instead).
+        let series = reg.gauge_mut("cdd.image_backlog_by_op");
+        for &(op, blocks) in samples {
+            series.push(SimTime(op), blocks as f64);
         }
     }
 
@@ -194,6 +217,8 @@ pub fn run_arch(kind: SystemKind, cfg: &TraceConfig) -> std::io::Result<TraceRun
             .and_then(|h| Some((h.percentile(50.0)?, h.percentile(95.0)?, h.percentile(99.0)?))),
         locks,
         lock_samples: lock_samples.len(),
+        image_backlog_peak: backlog_samples
+            .map(|s| s.into_iter().map(|(_, blocks)| blocks).max().unwrap_or(0)),
         trace_json_valid,
         paths,
         bw,
@@ -330,6 +355,31 @@ mod tests {
         let summary = render_summary(&runs);
         assert!(summary.contains("RAID-x defers mirror-image writes"));
         assert!(summary.contains("trace_raidx.json"));
+    }
+
+    /// The acceptance check for the backlog bound: in a traced parallel
+    /// write run the per-op backlog gauge stays clamped at the configured
+    /// bound, while the unbounded default builds a strictly larger
+    /// backlog on the same workload.
+    #[test]
+    fn backlog_gauge_clamps_at_configured_bound() {
+        let unbounded = TraceConfig { out_dir: test_out_dir("unbounded"), ..TraceConfig::smoke() };
+        let r = run_arch(SystemKind::MEASURED[3], &unbounded).expect("raidx trace failed");
+        let free_peak = r.image_backlog_peak.expect("raid run must sample the backlog");
+        assert!(free_peak > 1, "unbounded run built no backlog (peak {free_peak})");
+
+        let bound = 1usize;
+        let clamped = TraceConfig {
+            out_dir: test_out_dir("bounded"),
+            max_image_backlog: Some(bound),
+            ..TraceConfig::smoke()
+        };
+        let r = run_arch(SystemKind::MEASURED[3], &clamped).expect("raidx trace failed");
+        let peak = r.image_backlog_peak.expect("raid run must sample the backlog");
+        assert!(peak <= bound, "backlog bound {bound} violated: peak {peak}");
+        // The exported gauge series carries the clamped samples.
+        let metrics = std::fs::read_to_string(&r.paths[2]).expect("series csv missing");
+        assert!(metrics.contains("cdd.image_backlog_by_op"), "gauge missing from export");
     }
 
     #[test]

@@ -38,6 +38,16 @@ pub struct CddConfig {
     /// Whether RAID-x image flushes run in the background (the OSM claim).
     /// Disabling makes image writes foreground — the key ablation.
     pub background_mirroring: bool,
+    /// Bound on the OSM write-behind backlog, in buffered image blocks.
+    /// `None` (the default) reproduces the paper's unbounded "background"
+    /// queue. With `Some(bound)`, a foreground write that leaves more
+    /// than `bound` image blocks buffered sheds whole mirroring groups —
+    /// oldest first — as a *foreground* partial clustered flush, so
+    /// `IoSystem::pending_image_blocks()` never exceeds the bound between
+    /// requests. This is the backpressure that keeps a sustained burst
+    /// (the Figure-5 contention regime) from growing the image queue
+    /// without limit.
+    pub max_image_backlog: Option<usize>,
     /// Replica-selection policy for reads.
     pub read_balance: ReadBalance,
 }
@@ -51,6 +61,7 @@ impl Default for CddConfig {
             driver_overhead: SimDuration::from_micros(15),
             lock_broadcast: true,
             background_mirroring: true,
+            max_image_backlog: None,
             read_balance: ReadBalance::default(),
         }
     }
@@ -67,5 +78,6 @@ mod tests {
         assert!(c.xor_rate > 0);
         assert!(c.lock_broadcast);
         assert!(c.background_mirroring);
+        assert!(c.max_image_backlog.is_none(), "write-behind is unbounded by default");
     }
 }

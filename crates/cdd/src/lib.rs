@@ -13,19 +13,51 @@
 //! any client node, on any of the five layouts, producing both the real
 //! data movement (functional plane) and the timing [`sim_core::Plan`]
 //! (simulation plane). It also executes disk failure and rebuild.
+//!
+//! ## Module map — the layered request pipeline
+//!
+//! A request flows top to bottom (see DESIGN.md, "CDD pipeline"):
+//!
+//! | module | layer |
+//! |---|---|
+//! | [`frontend`] | front end / admission: range + length validation (shared with `nfs_sim`), run coalescing, read replica selection |
+//! | [`locks`] | consistency module: the replicated lock-group table |
+//! | [`scheme`] | scheme drivers: one [`scheme::SchemeDriver`] per [`raidx_core::WriteScheme`] (plain / mirror / parity) |
+//! | [`image_queue`] | data plane write-behind: the bounded OSM [`image_queue::ImageQueue`] |
+//! | [`system`] | the [`IoSystem`] orchestrator binding the layers |
+//! | [`maintenance`] | scrub and rebuild (outside the request pipeline) |
+//!
+//! Supporting modules: [`config`] (tunables, including the
+//! [`CddConfig::max_image_backlog`] backpressure bound), [`error`] (the
+//! shared [`IoError`]), [`ops`] (plan builders), [`runs`] (coalescing),
+//! [`store`] (the [`BlockStore`] abstraction over CDD and NFS),
+//! [`scenarios`] + [`proto`] (model-checking scenarios and their
+//! explorable compilation) and [`testkit`] (shared test/bench
+//! constructors).
 
 pub mod config;
+pub mod error;
+pub mod frontend;
+pub mod image_queue;
 pub mod locks;
+pub mod maintenance;
 pub mod ops;
 pub mod proto;
 pub mod runs;
+pub mod scenarios;
+pub mod scheme;
 pub mod store;
 pub mod system;
+pub mod testkit;
 
 pub use config::{CddConfig, ReadBalance};
+pub use error::IoError;
+pub use frontend::ReadBalancer;
+pub use image_queue::{ImageQueue, PendingImage};
 pub use locks::{LockConflict, LockEvent, LockGroupTable, LockHandle, LockRecord, ReleaseError};
 pub use ops::OpBuilder;
 pub use proto::{CddModel, Defect, HistOp, OpRecord, ProtoOp, ProtoState, Scenario};
 pub use runs::{merge_runs, Run};
+pub use scheme::{driver_for, SchemeDriver, WriteCtx};
 pub use store::BlockStore;
-pub use system::{IoError, IoSystem};
+pub use system::IoSystem;

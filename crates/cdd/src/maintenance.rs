@@ -1,0 +1,144 @@
+//! Array maintenance: redundancy scrub and disk rebuild.
+//!
+//! Both walk the written region of the array from outside the request
+//! pipeline — scrub audits the functional plane's redundancy relations,
+//! rebuild restores a replaced disk from surviving copies — so they live
+//! apart from the per-request layers in [`crate::system`].
+
+use cluster::xor_into;
+use raidx_core::fault::{plan_rebuild, RebuildSource};
+use raidx_core::ReadSource;
+use sim_core::plan::{par, seq};
+use sim_core::Plan;
+
+use crate::error::IoError;
+use crate::system::IoSystem;
+
+impl IoSystem {
+    /// Scrub: audit that every written block's redundancy is consistent
+    /// on the functional plane — mirror images byte-identical to their
+    /// data, parity blocks equal to the XOR of their stripe. Returns the
+    /// number of redundancy relations audited; any inconsistency is an
+    /// error naming the offending block. (The real CDD would run this in
+    /// idle time; here it is the test suite's strongest invariant check.)
+    pub fn scrub(&mut self) -> Result<u64, IoError> {
+        let bs = self.block_size() as usize;
+        let mut audited = 0u64;
+        let width = self.layout.stripe_width() as u64;
+        for lb in 0..self.high_water {
+            let d = self.layout.locate_data(lb);
+            if self.faults.contains(d.disk) {
+                continue;
+            }
+            let data = self.plane.read_owned(d.disk, d.block)?;
+            // Mirror images must match exactly.
+            for img in self.layout.locate_images(lb) {
+                if self.faults.contains(img.disk) {
+                    continue;
+                }
+                let copy = self.plane.read_owned(img.disk, img.block)?;
+                if copy != data {
+                    return Err(IoError::DataLoss { lb });
+                }
+                audited += 1;
+            }
+            // Parity must equal the XOR of the whole stripe (checked once
+            // per stripe, at its first member).
+            if let Some(p) = self.layout.locate_parity(lb) {
+                let (s, pos) = self.layout.stripe_of(lb);
+                if pos == 0 && !self.faults.contains(p.disk) {
+                    let mut acc = vec![0u8; bs];
+                    let mut complete = true;
+                    for member in self.layout.stripe_blocks(s) {
+                        let a = self.layout.locate_data(member);
+                        if self.faults.contains(a.disk) {
+                            complete = false;
+                            break;
+                        }
+                        let bytes = self.plane.read_owned(a.disk, a.block)?;
+                        xor_into(&mut acc, &bytes);
+                    }
+                    if complete {
+                        let parity = self.plane.read_owned(p.disk, p.block)?;
+                        if parity != acc {
+                            return Err(IoError::DataLoss { lb: s * width });
+                        }
+                        audited += 1;
+                    }
+                }
+            }
+        }
+        Ok(audited)
+    }
+
+    /// Replace `disk` with a blank spare and restore every block it held
+    /// (primaries, images and parity), driven from node `client`.
+    /// Returns the timing plan and the number of blocks restored.
+    pub fn rebuild_disk(&mut self, client: usize, disk: usize) -> Result<(Plan, usize), IoError> {
+        assert!(self.faults.contains(disk), "rebuilding a healthy disk");
+        let mut remaining = self.faults.clone();
+        remaining.remove(disk);
+        let steps = plan_rebuild(self.layout.as_ref(), disk, &remaining, self.high_water)
+            .map_err(|lost| IoError::DataLoss { lb: lost[0] })?;
+        self.plane.replace(disk);
+
+        let bs = self.block_size() as usize;
+        let mut step_plans = Vec::with_capacity(steps.len());
+        // Split borrows: collect functional actions first, then build plans.
+        for step in &steps {
+            match &step.source {
+                RebuildSource::Copy(lb) => {
+                    let src = match self.layout.read_source(*lb, &self.faults) {
+                        ReadSource::Primary(a) | ReadSource::Image(a) => a,
+                        _ => return Err(IoError::DataLoss { lb: *lb }),
+                    };
+                    let bytes = self.plane.read_owned(src.disk, src.block)?;
+                    self.plane.write(step.target.disk, step.target.block, &bytes)?;
+                }
+                RebuildSource::Xor { siblings, parity } => {
+                    let mut acc = vec![0u8; bs];
+                    for (_, a) in siblings {
+                        let b = self.plane.read_owned(a.disk, a.block)?;
+                        xor_into(&mut acc, &b);
+                    }
+                    if let Some(p) = parity {
+                        let b = self.plane.read_owned(p.disk, p.block)?;
+                        xor_into(&mut acc, &b);
+                    }
+                    self.plane.write(step.target.disk, step.target.block, &acc)?;
+                }
+            }
+        }
+        let ops = self.ops();
+        for step in &steps {
+            let write = ops.write_run(client, step.target.disk, step.target.block, 1, false);
+            let plan = match &step.source {
+                RebuildSource::Copy(lb) => {
+                    let src = match self.layout.read_source(*lb, &self.faults) {
+                        ReadSource::Primary(a) | ReadSource::Image(a) => a,
+                        _ => unreachable!("checked above"),
+                    };
+                    seq(vec![ops.read_run(client, src.disk, src.block, 1), write])
+                }
+                RebuildSource::Xor { siblings, parity } => {
+                    let mut reads: Vec<Plan> = siblings
+                        .iter()
+                        .map(|(_, a)| ops.read_run(client, a.disk, a.block, 1))
+                        .collect();
+                    if let Some(p) = parity {
+                        reads.push(ops.read_run(client, p.disk, p.block, 1));
+                    }
+                    let n = reads.len() as u64 + 1;
+                    seq(vec![par(reads), ops.xor(client, n * bs as u64), write])
+                }
+            };
+            step_plans.push(plan);
+        }
+        self.faults.remove(disk);
+
+        // Pace the rebuild in batches (a real rebuilder bounds outstanding
+        // I/O rather than flooding every queue at once).
+        let batched: Vec<Plan> = step_plans.chunks(32).map(|c| par(c.to_vec())).collect();
+        Ok((seq(batched), steps.len()))
+    }
+}

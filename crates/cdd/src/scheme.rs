@@ -1,0 +1,398 @@
+//! Scheme-driver layer of the CDD pipeline: one driver per
+//! [`WriteScheme`], behind the [`SchemeDriver`] trait.
+//!
+//! The front end admits and locks a request; the matching driver then
+//! owns the whole write policy — placement, fault handling, functional
+//! data movement and the timing plan:
+//!
+//! * [`PlainDriver`] (`WriteScheme::None`) — plain striping.
+//! * [`MirrorDriver`] (`ForegroundMirror` / `BackgroundMirror`) — both
+//!   copies foreground (RAID-10, chained declustering), or RAID-x OSM
+//!   write-behind: the ack follows the data writes and images buffer in
+//!   the [`ImageQueue`], flushing per mirroring group as long detached
+//!   sequential runs. With [`CddConfig::max_image_backlog`] set, a write
+//!   that overfills the queue pays the overflow as a foreground partial
+//!   clustered flush (bounded backpressure).
+//! * [`ParityDriver`] (`Parity`) — RAID-5: full stripes compute parity
+//!   client-side and write `n` streams; partial stripes pay the
+//!   four-operation read-modify-write (the small-write problem).
+//!
+//! Drivers are stateless: all array state they touch is borrowed through
+//! [`WriteCtx`], so the dispatch is a table lookup ([`driver_for`]) and
+//! new layouts add a driver without touching the orchestrator.
+
+use cluster::{xor_into, Cluster, DataPlane};
+use raidx_core::{BlockAddr, FaultSet, Layout, WriteScheme};
+use sim_core::plan::{background, par, seq};
+use sim_core::Plan;
+
+use crate::config::CddConfig;
+use crate::error::IoError;
+use crate::image_queue::{ImageQueue, PendingImage};
+use crate::ops::OpBuilder;
+use crate::runs::{merge_runs, Run};
+
+/// Everything a scheme driver may touch, borrowed field-by-field from the
+/// [`crate::IoSystem`] for the duration of one admitted write.
+pub struct WriteCtx<'a> {
+    /// The layout placing blocks.
+    pub layout: &'a dyn Layout,
+    /// The functional plane holding the bytes.
+    pub plane: &'a mut DataPlane,
+    /// Currently failed disks.
+    pub faults: &'a FaultSet,
+    /// Cluster resource handles for plan building.
+    pub cluster: &'a Cluster,
+    /// Protocol cost parameters and policies.
+    pub cfg: &'a CddConfig,
+    /// The OSM write-behind queue (mirror drivers only).
+    pub images: &'a mut ImageQueue,
+}
+
+impl<'a> WriteCtx<'a> {
+    /// Plan builder over this context's cluster. The returned builder
+    /// borrows the cluster and config directly (not the context), so it
+    /// coexists with later mutation of the plane or image queue.
+    pub fn ops(&self) -> OpBuilder<'a> {
+        OpBuilder { cluster: self.cluster, cfg: self.cfg }
+    }
+
+    /// Logical block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.cluster.cfg.block_size as usize
+    }
+
+    /// The block of `data` backing logical block `lb` of a request
+    /// starting at `lb0`.
+    pub fn slice<'d>(&self, data: &'d [u8], lb0: u64, lb: u64) -> &'d [u8] {
+        let bs = self.block_size();
+        let off = ((lb - lb0) as usize) * bs;
+        &data[off..off + bs]
+    }
+}
+
+/// One write policy of the single I/O space.
+pub trait SchemeDriver: Sync {
+    /// The scheme this driver implements (dispatch sanity / reports).
+    fn scheme(&self) -> WriteScheme;
+
+    /// Execute an admitted, locked write: move the bytes on the
+    /// functional plane now and return the timing plan.
+    fn write(
+        &self,
+        ctx: &mut WriteCtx<'_>,
+        client: usize,
+        lb0: u64,
+        nblocks: u64,
+        data: &[u8],
+    ) -> Result<Plan, IoError>;
+}
+
+/// The driver implementing `scheme`.
+pub fn driver_for(scheme: WriteScheme) -> &'static dyn SchemeDriver {
+    static PLAIN: PlainDriver = PlainDriver;
+    static FOREGROUND: MirrorDriver = MirrorDriver { write_behind: false };
+    static BACKGROUND: MirrorDriver = MirrorDriver { write_behind: true };
+    static PARITY: ParityDriver = ParityDriver;
+    match scheme {
+        WriteScheme::None => &PLAIN,
+        WriteScheme::ForegroundMirror => &FOREGROUND,
+        WriteScheme::BackgroundMirror => &BACKGROUND,
+        WriteScheme::Parity => &PARITY,
+    }
+}
+
+fn runs_to_writes(ops: &OpBuilder<'_>, client: usize, runs: &[Run], ack: bool) -> Vec<Plan> {
+    runs.iter().map(|r| ops.write_run(client, r.disk, r.start, r.len(), ack)).collect()
+}
+
+/// Plain striping: every block to its data disk, acked in parallel.
+pub struct PlainDriver;
+
+impl SchemeDriver for PlainDriver {
+    fn scheme(&self) -> WriteScheme {
+        WriteScheme::None
+    }
+
+    fn write(
+        &self,
+        ctx: &mut WriteCtx<'_>,
+        client: usize,
+        lb0: u64,
+        nblocks: u64,
+        data: &[u8],
+    ) -> Result<Plan, IoError> {
+        let mut placements = Vec::with_capacity(nblocks as usize);
+        for lb in lb0..lb0 + nblocks {
+            let a = ctx.layout.locate_data(lb);
+            if ctx.faults.contains(a.disk) {
+                return Err(IoError::DataLoss { lb });
+            }
+            placements.push((lb, a));
+        }
+        for &(lb, a) in &placements {
+            ctx.plane.write(a.disk, a.block, ctx.slice(data, lb0, lb))?;
+        }
+        let ops = ctx.ops();
+        let plans = runs_to_writes(&ops, client, &merge_runs(placements), true);
+        Ok(par(plans))
+    }
+}
+
+/// Mirrored writes: foreground both-copies (RAID-10, chained), or RAID-x
+/// OSM write-behind when `write_behind` and the config's
+/// `background_mirroring` both hold.
+pub struct MirrorDriver {
+    /// Whether images may defer to the background image queue.
+    pub write_behind: bool,
+}
+
+impl SchemeDriver for MirrorDriver {
+    fn scheme(&self) -> WriteScheme {
+        if self.write_behind {
+            WriteScheme::BackgroundMirror
+        } else {
+            WriteScheme::ForegroundMirror
+        }
+    }
+
+    fn write(
+        &self,
+        ctx: &mut WriteCtx<'_>,
+        client: usize,
+        lb0: u64,
+        nblocks: u64,
+        data: &[u8],
+    ) -> Result<Plan, IoError> {
+        let deferred_images = self.write_behind && ctx.cfg.background_mirroring;
+        let mut fg = Vec::new(); // foreground placements
+        let mut bg = Vec::new(); // deferred image placements
+        for lb in lb0..lb0 + nblocks {
+            let d = ctx.layout.locate_data(lb);
+            let images = ctx.layout.locate_images(lb);
+            let d_ok = !ctx.faults.contains(d.disk);
+            let healthy_images: Vec<BlockAddr> =
+                images.into_iter().filter(|a| !ctx.faults.contains(a.disk)).collect();
+            if !d_ok && healthy_images.is_empty() {
+                return Err(IoError::DataLoss { lb });
+            }
+            if d_ok {
+                fg.push((lb, d));
+            }
+            for img in healthy_images {
+                // With the primary gone the image is the only durable copy,
+                // so it must be written before the ack.
+                if deferred_images && d_ok {
+                    bg.push((lb, img));
+                } else {
+                    fg.push((lb, img));
+                }
+            }
+        }
+        for &(lb, a) in fg.iter().chain(bg.iter()) {
+            ctx.plane.write(a.disk, a.block, ctx.slice(data, lb0, lb))?;
+        }
+        // Write-behind with group clustering: buffer each deferred image
+        // under its mirroring group; a group that fills flushes as one
+        // long sequential write (the OSM mechanism that removes per-write
+        // mirroring cost). Partial groups stay buffered until they fill,
+        // the backlog bound sheds them, or `flush_images` is called.
+        let mut ready: Vec<PendingImage> = Vec::new();
+        for (lb, img) in bg {
+            let group = ctx.layout.image_group_key(lb);
+            ready.extend(ctx.images.push(PendingImage { client, lb, addr: img }, group));
+        }
+        let ops = ctx.ops();
+        let fg_plans = runs_to_writes(&ops, client, &merge_runs(fg), true);
+        let mut chain = vec![par(fg_plans)];
+        if !ready.is_empty() {
+            chain.push(background(par(ImageQueue::flush_plans(&ops, ready))));
+        }
+        // Bounded write-behind: whatever still exceeds the backlog cap is
+        // this request's debt — it flushes on the foreground path, inside
+        // the ack, as a partial clustered flush.
+        if let Some(bound) = ctx.cfg.max_image_backlog {
+            let overflow = ctx.images.drain_overflow(bound);
+            if !overflow.is_empty() {
+                chain.push(par(ImageQueue::flush_plans(&ops, overflow)));
+            }
+        }
+        Ok(seq(chain))
+    }
+}
+
+/// RAID-5 parity writes: full-stripe streaming or the four-op
+/// read-modify-write, with degraded reconstruct-write paths.
+pub struct ParityDriver;
+
+impl SchemeDriver for ParityDriver {
+    fn scheme(&self) -> WriteScheme {
+        WriteScheme::Parity
+    }
+
+    fn write(
+        &self,
+        ctx: &mut WriteCtx<'_>,
+        client: usize,
+        lb0: u64,
+        nblocks: u64,
+        data: &[u8],
+    ) -> Result<Plan, IoError> {
+        let bs = ctx.block_size();
+        let width = ctx.layout.stripe_width() as u64;
+        // A block is unstorable only if both its data disk and its
+        // stripe's parity disk are gone.
+        for lb in lb0..lb0 + nblocks {
+            let d = ctx.layout.locate_data(lb);
+            let p = ctx.layout.locate_parity(lb).expect("parity layout");
+            if ctx.faults.contains(d.disk) && ctx.faults.contains(p.disk) {
+                return Err(IoError::DataLoss { lb });
+            }
+        }
+
+        let mut full_data = Vec::new(); // data placements of full stripes
+        let mut parity_writes = Vec::new(); // (stripe, parity addr)
+        let mut rmw_plans = Vec::new();
+        // Degraded reconstruct-writes: (lost block, surviving sibling
+        // addrs to read, parity addr to write).
+        let mut reconstruct_writes: Vec<(u64, Vec<BlockAddr>, BlockAddr)> = Vec::new();
+        // Degraded data-only writes (parity disk dead).
+        let mut bare_data = Vec::new();
+        let mut xor_bytes = 0u64;
+
+        let s_first = lb0 / width;
+        let s_last = (lb0 + nblocks - 1) / width;
+        for s in s_first..=s_last {
+            let members = ctx.layout.stripe_blocks(s);
+            let covered = members.iter().all(|&m| (lb0..lb0 + nblocks).contains(&m));
+            if covered && members.len() == width as usize {
+                // Full-stripe write: parity from the new data alone. A
+                // dead data disk's block is represented by parity only;
+                // a dead parity disk simply goes unmaintained.
+                let mut parity = vec![0u8; bs];
+                for &m in &members {
+                    let slice = ctx.slice(data, lb0, m);
+                    xor_into(&mut parity, slice);
+                    let a = ctx.layout.locate_data(m);
+                    if !ctx.faults.contains(a.disk) {
+                        ctx.plane.write(a.disk, a.block, slice)?;
+                        full_data.push((m, a));
+                    }
+                }
+                let p = ctx.layout.locate_parity(members[0]).expect("parity");
+                if !ctx.faults.contains(p.disk) {
+                    ctx.plane.write(p.disk, p.block, &parity)?;
+                    parity_writes.push((s, p));
+                }
+                xor_bytes += width * bs as u64;
+            } else {
+                // Partial stripe: per touched block.
+                for &m in &members {
+                    if !(lb0..lb0 + nblocks).contains(&m) {
+                        continue;
+                    }
+                    let a = ctx.layout.locate_data(m);
+                    let p = ctx.layout.locate_parity(m).expect("parity");
+                    let d_ok = !ctx.faults.contains(a.disk);
+                    let p_ok = !ctx.faults.contains(p.disk);
+                    let newd = ctx.slice(data, lb0, m).to_vec();
+                    match (d_ok, p_ok) {
+                        (true, true) => {
+                            // Healthy read-modify-write.
+                            let old = ctx.plane.read_owned(a.disk, a.block)?;
+                            let mut new_parity = ctx.plane.read_owned(p.disk, p.block)?;
+                            xor_into(&mut new_parity, &old);
+                            xor_into(&mut new_parity, &newd);
+                            ctx.plane.write(a.disk, a.block, &newd)?;
+                            ctx.plane.write(p.disk, p.block, &new_parity)?;
+                            rmw_plans.push((m, a, p));
+                        }
+                        (true, false) => {
+                            // Parity disk dead: data write only.
+                            ctx.plane.write(a.disk, a.block, &newd)?;
+                            bare_data.push((m, a));
+                        }
+                        (false, true) => {
+                            // Reconstruct-write: the new block exists only
+                            // through parity = new XOR surviving siblings.
+                            let mut parity = newd;
+                            let mut sibs = Vec::new();
+                            for sib in ctx.layout.stripe_blocks(s) {
+                                if sib == m {
+                                    continue;
+                                }
+                                let sa = ctx.layout.locate_data(sib);
+                                let bytes = ctx.plane.read_owned(sa.disk, sa.block)?;
+                                xor_into(&mut parity, &bytes);
+                                sibs.push(sa);
+                            }
+                            ctx.plane.write(p.disk, p.block, &parity)?;
+                            reconstruct_writes.push((m, sibs, p));
+                        }
+                        (false, false) => unreachable!("checked above"),
+                    }
+                }
+            }
+        }
+
+        let ops = ctx.ops();
+        let mut branches = Vec::new();
+        if !full_data.is_empty() {
+            let data_plans = runs_to_writes(&ops, client, &merge_runs(full_data), true);
+            let parity_plans: Vec<Plan> = parity_writes
+                .iter()
+                .map(|&(_, p)| ops.write_run(client, p.disk, p.block, 1, true))
+                .collect();
+            branches.push(seq(vec![
+                ops.xor(client, xor_bytes),
+                par(data_plans.into_iter().chain(parity_plans).collect()),
+            ]));
+        }
+        for (_, a, p) in &rmw_plans {
+            // The four-op small-write cycle: two reads, XOR, two writes.
+            branches.push(seq(vec![
+                par(vec![
+                    ops.read_run(client, a.disk, a.block, 1),
+                    ops.read_run(client, p.disk, p.block, 1),
+                ]),
+                ops.xor(client, 3 * bs as u64),
+                par(vec![
+                    ops.write_run(client, a.disk, a.block, 1, true),
+                    ops.write_run(client, p.disk, p.block, 1, true),
+                ]),
+            ]));
+        }
+        for run in merge_runs(bare_data) {
+            branches.push(ops.write_run(client, run.disk, run.start, run.len(), true));
+        }
+        for (_, sibs, p) in &reconstruct_writes {
+            // Degraded write: read every surviving sibling, XOR with the
+            // new data, write the parity block.
+            let reads: Vec<Plan> =
+                sibs.iter().map(|a| ops.read_run(client, a.disk, a.block, 1)).collect();
+            branches.push(seq(vec![
+                par(reads),
+                ops.xor(client, width * bs as u64),
+                ops.write_run(client, p.disk, p.block, 1, true),
+            ]));
+        }
+        Ok(par(branches))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_matches_scheme() {
+        for scheme in [
+            WriteScheme::None,
+            WriteScheme::ForegroundMirror,
+            WriteScheme::BackgroundMirror,
+            WriteScheme::Parity,
+        ] {
+            assert_eq!(driver_for(scheme.clone()).scheme(), scheme);
+        }
+    }
+}

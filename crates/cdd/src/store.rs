@@ -125,17 +125,11 @@ impl BlockStore for IoSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::CddConfig;
-    use cluster::ClusterConfig;
     use raidx_core::Arch;
-    use sim_core::Engine;
 
     #[test]
     fn iosystem_implements_blockstore() {
-        let mut e = Engine::new();
-        let mut cfg = ClusterConfig::shape(4, 1);
-        cfg.disk.capacity = 4 << 20;
-        let mut s = IoSystem::new(&mut e, cfg, Arch::RaidX, CddConfig::default());
+        let (mut _e, mut s) = crate::testkit::shape(4, 1, 4 << 20, Arch::RaidX);
         let store: &mut dyn BlockStore = &mut s;
         assert_eq!(store.nodes(), 4);
         assert_eq!(store.arch_name(), "RAID-x");

@@ -1,116 +1,67 @@
 //! The cooperative-disk-driver I/O system: a single I/O space over the
-//! whole cluster.
+//! whole cluster, as an explicit three-layer request pipeline.
 //!
 //! [`IoSystem`] binds a [`Layout`] (where blocks live), a [`Cluster`]
-//! (which resources they cross) and a [`DataPlane`] (the actual bytes).
+//! (which resources they cross) and a [`DataPlane`] (the actual bytes),
+//! and orchestrates the layers:
+//!
+//! 1. **Front end / admission** ([`crate::frontend`]) — range and length
+//!    validation (shared with the NFS baseline), run coalescing, and
+//!    replica selection for reads.
+//! 2. **Consistency module** ([`crate::locks`]) — the replicated
+//!    lock-group table; a write holds its group for the duration of the
+//!    (logically instantaneous) functional update.
+//! 3. **Scheme drivers** ([`crate::scheme`]) — one driver per
+//!    [`raidx_core::WriteScheme`] executes the admitted write.
+//! 4. **Data plane** ([`crate::image_queue`]) — the OSM write-behind
+//!    queue buffering deferred mirror images, bounded by
+//!    [`CddConfig::max_image_backlog`].
+//!
 //! Every request is executed **functionally** (bytes move now, so
-//! correctness is checkable) and **temporally** (a [`Plan`] is returned for
-//! the discrete-event engine, so performance is measurable).
-//!
-//! The write path dispatches on the layout's [`WriteScheme`]:
-//!
-//! * `None` — plain striping.
-//! * `ForegroundMirror` — both copies written before the ack (RAID-10,
-//!   chained declustering).
-//! * `BackgroundMirror` — RAID-x OSM: the ack follows the data writes;
-//!   images are coalesced per mirroring group into long sequential runs
-//!   and flushed detached, *after* the foreground completes (write-behind),
-//!   where they contend with subsequent traffic but never with their own
-//!   request's latency.
-//! * `Parity` — RAID-5: full stripes compute parity client-side and write
-//!   `n` streams; partial stripes pay the four-operation
-//!   read-modify-write (the small-write problem).
+//! correctness is checkable) and **temporally** (a [`Plan`] is returned
+//! for the discrete-event engine, so performance is measurable). Scrub
+//! and rebuild live in [`crate::maintenance`].
 
-use cluster::{xor_into, Cluster, ClusterConfig, DataPlane, DiskError};
-use raidx_core::fault::{plan_rebuild, RebuildSource};
-use raidx_core::{Arch, BlockAddr, FaultSet, Layout, ReadSource, WriteScheme};
-use sim_core::plan::{background, par, seq};
+use cluster::{xor_into, Cluster, ClusterConfig, DataPlane};
+use raidx_core::{Arch, FaultSet, Layout, ReadSource};
+use sim_core::plan::{par, seq};
 use sim_core::{Engine, Plan};
 
-use crate::config::{CddConfig, ReadBalance};
-use crate::locks::{LockConflict, LockGroupTable};
+use crate::config::CddConfig;
+use crate::frontend::{self, ReadBalancer};
+use crate::image_queue::ImageQueue;
+use crate::locks::LockGroupTable;
 use crate::ops::OpBuilder;
-use crate::runs::{merge_runs, Run};
+use crate::runs::merge_runs;
+use crate::scheme::{self, WriteCtx};
 
-/// Errors surfaced by the I/O system.
-#[derive(Debug)]
-pub enum IoError {
-    /// Logical address beyond the layout's capacity.
-    OutOfRange {
-        /// Offending logical block.
-        lb: u64,
-        /// Layout capacity in blocks.
-        capacity: u64,
-    },
-    /// Buffer length not a whole number of blocks / wrong size.
-    BadLength {
-        /// Required length unit (the block size).
-        expected: usize,
-        /// Length actually supplied.
-        got: usize,
-    },
-    /// No surviving copy of a block.
-    DataLoss {
-        /// The unrecoverable logical block.
-        lb: u64,
-    },
-    /// A peer holds an overlapping lock group.
-    Lock(LockConflict),
-    /// Functional-plane failure (invariant violation).
-    Disk(DiskError),
-}
-
-impl std::fmt::Display for IoError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            IoError::OutOfRange { lb, capacity } => {
-                write!(f, "block {lb} beyond capacity {capacity}")
-            }
-            IoError::BadLength { expected, got } => {
-                write!(f, "buffer {got} bytes, expected {expected}")
-            }
-            IoError::DataLoss { lb } => write!(f, "block {lb} unrecoverable"),
-            IoError::Lock(c) => write!(f, "lock conflict with node {}", c.holder),
-            IoError::Disk(e) => write!(f, "data plane: {e}"),
-        }
-    }
-}
-impl std::error::Error for IoError {}
-
-impl From<DiskError> for IoError {
-    fn from(e: DiskError) -> Self {
-        IoError::Disk(e)
-    }
-}
+pub use crate::error::IoError;
 
 /// The single I/O space of one architecture over one cluster.
 pub struct IoSystem {
     /// Cluster resource handles (public: workloads need node/NIC ids).
     pub cluster: Cluster,
-    plane: DataPlane,
-    layout: Box<dyn Layout>,
-    cfg: CddConfig,
-    faults: FaultSet,
-    locks: LockGroupTable,
-    high_water: u64,
-    /// Write-behind buffer of the OSM image path: images accumulate per
-    /// mirroring group (key → (writer, lb, image addr)) and a *completed*
-    /// group flushes as one long sequential background write.
-    // BTreeMap, not HashMap: `flush_images` drains this in iteration
-    // order into the background plan, so the order must be deterministic
-    // across engine instances (the determinism audit diffs two same-seed
-    // runs event for event).
-    pending_images: std::collections::BTreeMap<u64, Vec<(usize, u64, BlockAddr)>>,
-    /// Bytes of read traffic dispatched per disk (drives the
-    /// `LeastLoaded` balancing policy).
-    read_load: Vec<u64>,
+    pub(crate) plane: DataPlane,
+    pub(crate) layout: Box<dyn Layout>,
+    pub(crate) cfg: CddConfig,
+    pub(crate) faults: FaultSet,
+    pub(crate) locks: LockGroupTable,
+    pub(crate) high_water: u64,
+    /// Data-plane write-behind buffer of the OSM image path.
+    pub(crate) images: ImageQueue,
+    /// Front-end replica selection for reads.
+    pub(crate) balancer: ReadBalancer,
     /// Per-op lock-table occupancy samples `(op sequence number, records
     /// held while the op's grant was live)`, recorded only when
     /// [`IoSystem::enable_lock_metrics`] has been called. Op sequence is
     /// the timeline here — grants are scoped to the functional call, so
     /// a sim-time series would read as permanently empty.
     lock_samples: Option<Vec<(u64, usize)>>,
-    /// Monotone operation counter (writes and reads), for lock samples.
+    /// Per-op image-backlog samples `(op sequence number, blocks buffered
+    /// after the op)`, recorded alongside the lock samples. The backlog
+    /// gauge of the write-behind bound.
+    backlog_samples: Option<Vec<(u64, usize)>>,
+    /// Monotone operation counter (writes), for the sample series.
     op_seq: u64,
 }
 
@@ -136,6 +87,7 @@ impl IoSystem {
         );
         let total_disks = cluster_cfg.total_disks();
         let cluster = Cluster::build(cluster_cfg, engine);
+        let balancer = ReadBalancer::new(cfg.read_balance, total_disks);
         IoSystem {
             cluster,
             plane,
@@ -144,9 +96,10 @@ impl IoSystem {
             faults: FaultSet::none(),
             locks: LockGroupTable::new(),
             high_water: 0,
-            pending_images: std::collections::BTreeMap::new(),
-            read_load: vec![0; total_disks],
+            images: ImageQueue::new(),
+            balancer,
             lock_samples: None,
+            backlog_samples: None,
             op_seq: 0,
         }
     }
@@ -192,10 +145,12 @@ impl IoSystem {
         self.locks.held().count()
     }
 
-    /// Start recording per-op lock-table occupancy samples (see
-    /// [`IoSystem::take_lock_samples`]); clears any previous samples.
+    /// Start recording per-op lock-table occupancy and image-backlog
+    /// samples (see [`IoSystem::take_lock_samples`] and
+    /// [`IoSystem::take_backlog_samples`]); clears any previous samples.
     pub fn enable_lock_metrics(&mut self) {
         self.lock_samples = Some(Vec::new());
+        self.backlog_samples = Some(Vec::new());
     }
 
     /// Take the recorded `(op sequence, lock records held)` samples,
@@ -203,6 +158,13 @@ impl IoSystem {
     /// into the CDD lock-table occupancy series.
     pub fn take_lock_samples(&mut self) -> Vec<(u64, usize)> {
         self.lock_samples.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Take the recorded `(op sequence, buffered image blocks)` samples,
+    /// leaving recording enabled. With a backlog bound configured this
+    /// series never exceeds the bound.
+    pub fn take_backlog_samples(&mut self) -> Vec<(u64, usize)> {
+        self.backlog_samples.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
     /// Start recording the lock-group grant/release trace (consumed by
@@ -221,7 +183,7 @@ impl IoSystem {
         &mut self.plane
     }
 
-    fn ops(&self) -> OpBuilder<'_> {
+    pub(crate) fn ops(&self) -> OpBuilder<'_> {
         OpBuilder { cluster: &self.cluster, cfg: &self.cfg }
     }
 
@@ -236,24 +198,23 @@ impl IoSystem {
         }
     }
 
-    fn validate_range(&self, lb0: u64, nblocks: u64) -> Result<(), IoError> {
-        let cap = self.capacity_blocks();
-        if lb0 + nblocks > cap {
-            return Err(IoError::OutOfRange { lb: lb0 + nblocks - 1, capacity: cap });
+    /// Record the post-op image backlog under the same op sequence the
+    /// lock sample used.
+    fn sample_backlog(&mut self) {
+        let pending = self.images.len();
+        let seq = self.op_seq.saturating_sub(1);
+        if let Some(samples) = self.backlog_samples.as_mut() {
+            samples.push((seq, pending));
         }
-        Ok(())
     }
 
     /// Write `data` (a whole number of blocks) at logical block `lb0` on
     /// behalf of node `client`. Returns the timing plan; the bytes are
     /// already durable on the functional plane when this returns.
     pub fn write(&mut self, client: usize, lb0: u64, data: &[u8]) -> Result<Plan, IoError> {
+        // Front end: admission.
         let bs = self.block_size() as usize;
-        if data.is_empty() || !data.len().is_multiple_of(bs) {
-            return Err(IoError::BadLength { expected: bs.max(1), got: data.len() });
-        }
-        let nblocks = (data.len() / bs) as u64;
-        self.validate_range(lb0, nblocks)?;
+        let nblocks = frontend::validate_write(bs, self.capacity_blocks(), lb0, data.len())?;
 
         // Consistency module: atomically acquire the lock group, held for
         // the duration of the (logically instantaneous) functional update.
@@ -262,6 +223,7 @@ impl IoSystem {
         let result = self.write_locked(client, lb0, nblocks, data);
         self.locks.release(lock);
         let body = result?;
+        self.sample_backlog();
         self.high_water = self.high_water.max(lb0 + nblocks);
 
         let ops = self.ops();
@@ -273,6 +235,8 @@ impl IoSystem {
         Ok(seq(chain))
     }
 
+    /// Scheme-driver dispatch: hand the admitted, locked write to the
+    /// driver matching the layout's write scheme.
     fn write_locked(
         &mut self,
         client: usize,
@@ -280,329 +244,35 @@ impl IoSystem {
         nblocks: u64,
         data: &[u8],
     ) -> Result<Plan, IoError> {
-        match self.layout.write_scheme() {
-            WriteScheme::None => self.write_plain(client, lb0, nblocks, data),
-            WriteScheme::ForegroundMirror => self.write_mirrored(client, lb0, nblocks, data, false),
-            WriteScheme::BackgroundMirror => {
-                let bg = self.cfg.background_mirroring;
-                self.write_mirrored(client, lb0, nblocks, data, bg)
-            }
-            WriteScheme::Parity => self.write_parity(client, lb0, nblocks, data),
-        }
-    }
-
-    fn slice<'d>(&self, data: &'d [u8], lb0: u64, lb: u64) -> &'d [u8] {
-        let bs = self.block_size() as usize;
-        let off = ((lb - lb0) as usize) * bs;
-        &data[off..off + bs]
-    }
-
-    fn write_plain(
-        &mut self,
-        client: usize,
-        lb0: u64,
-        nblocks: u64,
-        data: &[u8],
-    ) -> Result<Plan, IoError> {
-        let mut placements = Vec::with_capacity(nblocks as usize);
-        for lb in lb0..lb0 + nblocks {
-            let a = self.layout.locate_data(lb);
-            if self.faults.contains(a.disk) {
-                return Err(IoError::DataLoss { lb });
-            }
-            placements.push((lb, a));
-        }
-        for &(lb, a) in &placements {
-            self.plane.write(a.disk, a.block, self.slice(data, lb0, lb))?;
-        }
-        let ops = self.ops();
-        let plans = runs_to_writes(&ops, client, &merge_runs(placements), true);
-        Ok(par(plans))
-    }
-
-    fn write_mirrored(
-        &mut self,
-        client: usize,
-        lb0: u64,
-        nblocks: u64,
-        data: &[u8],
-        deferred_images: bool,
-    ) -> Result<Plan, IoError> {
-        let mut fg = Vec::new(); // foreground placements
-        let mut bg = Vec::new(); // deferred image placements
-        for lb in lb0..lb0 + nblocks {
-            let d = self.layout.locate_data(lb);
-            let images = self.layout.locate_images(lb);
-            let d_ok = !self.faults.contains(d.disk);
-            let healthy_images: Vec<BlockAddr> =
-                images.into_iter().filter(|a| !self.faults.contains(a.disk)).collect();
-            if !d_ok && healthy_images.is_empty() {
-                return Err(IoError::DataLoss { lb });
-            }
-            if d_ok {
-                fg.push((lb, d));
-            }
-            for img in healthy_images {
-                // With the primary gone the image is the only durable copy,
-                // so it must be written before the ack.
-                if deferred_images && d_ok {
-                    bg.push((lb, img));
-                } else {
-                    fg.push((lb, img));
-                }
-            }
-        }
-        for &(lb, a) in fg.iter().chain(bg.iter()) {
-            self.plane.write(a.disk, a.block, self.slice(data, lb0, lb))?;
-        }
-        // Write-behind with group clustering: buffer each deferred image
-        // under its mirroring group; a group that fills flushes as one
-        // long sequential write (the OSM mechanism that removes per-write
-        // mirroring cost). Partial groups stay buffered until they fill
-        // or `flush_images` is called.
-        let mut ready: Vec<(usize, u64, BlockAddr)> = Vec::new();
-        for (lb, img) in bg {
-            match self.layout.image_group_key(lb) {
-                Some((key, group_len)) => {
-                    let entry = self.pending_images.entry(key).or_default();
-                    // Overwrites of a still-buffered block replace in place.
-                    if let Some(slot) = entry.iter_mut().find(|(_, l, _)| *l == lb) {
-                        *slot = (client, lb, img);
-                    } else {
-                        entry.push((client, lb, img));
-                    }
-                    if entry.len() >= group_len {
-                        let full = self.pending_images.remove(&key).expect("entry exists");
-                        ready.extend(full);
-                    }
-                }
-                None => ready.push((client, lb, img)),
-            }
-        }
-        let ops = self.ops();
-        let fg_plans = runs_to_writes(&ops, client, &merge_runs(fg), true);
-        let mut chain = vec![par(fg_plans)];
-        if !ready.is_empty() {
-            let bg_plans = image_flush_plans(&ops, ready);
-            chain.push(background(par(bg_plans)));
-        }
-        Ok(seq(chain))
+        let driver = scheme::driver_for(self.layout.write_scheme());
+        let mut ctx = WriteCtx {
+            layout: self.layout.as_ref(),
+            plane: &mut self.plane,
+            faults: &self.faults,
+            cluster: &self.cluster,
+            cfg: &self.cfg,
+            images: &mut self.images,
+        };
+        driver.write(&mut ctx, client, lb0, nblocks, data)
     }
 
     /// Flush every still-buffered image group (partial groups included) as
     /// background writes. Call at sync points; the returned plan performs
     /// the deferred mirror traffic.
     pub fn flush_images(&mut self) -> Plan {
-        let mut all: Vec<(usize, u64, BlockAddr)> = Vec::new();
-        for (_, v) in std::mem::take(&mut self.pending_images) {
-            all.extend(v);
-        }
+        let all = self.images.drain_all();
         if all.is_empty() {
             return Plan::Noop;
         }
         let ops = self.ops();
-        par(image_flush_plans(&ops, all))
+        par(ImageQueue::flush_plans(&ops, all))
     }
 
     /// Number of image blocks currently buffered for deferred flushing.
+    /// With [`CddConfig::max_image_backlog`] set this gauge is clamped at
+    /// the bound between requests.
     pub fn pending_image_blocks(&self) -> usize {
-        self.pending_images.values().map(Vec::len).sum()
-    }
-
-    fn write_parity(
-        &mut self,
-        client: usize,
-        lb0: u64,
-        nblocks: u64,
-        data: &[u8],
-    ) -> Result<Plan, IoError> {
-        let bs = self.block_size() as usize;
-        let width = self.layout.stripe_width() as u64;
-        // A block is unstorable only if both its data disk and its
-        // stripe's parity disk are gone.
-        for lb in lb0..lb0 + nblocks {
-            let d = self.layout.locate_data(lb);
-            let p = self.layout.locate_parity(lb).expect("parity layout");
-            if self.faults.contains(d.disk) && self.faults.contains(p.disk) {
-                return Err(IoError::DataLoss { lb });
-            }
-        }
-
-        let mut full_data = Vec::new(); // data placements of full stripes
-        let mut parity_writes = Vec::new(); // (stripe, parity addr)
-        let mut rmw_plans = Vec::new();
-        // Degraded reconstruct-writes: (lost block, surviving sibling
-        // addrs to read, parity addr to write).
-        let mut reconstruct_writes: Vec<(u64, Vec<BlockAddr>, BlockAddr)> = Vec::new();
-        // Degraded data-only writes (parity disk dead).
-        let mut bare_data = Vec::new();
-        let mut xor_bytes = 0u64;
-
-        let s_first = lb0 / width;
-        let s_last = (lb0 + nblocks - 1) / width;
-        for s in s_first..=s_last {
-            let members = self.layout.stripe_blocks(s);
-            let covered = members.iter().all(|&m| (lb0..lb0 + nblocks).contains(&m));
-            if covered && members.len() == width as usize {
-                // Full-stripe write: parity from the new data alone. A
-                // dead data disk's block is represented by parity only;
-                // a dead parity disk simply goes unmaintained.
-                let mut parity = vec![0u8; bs];
-                for &m in &members {
-                    let slice = self.slice(data, lb0, m);
-                    xor_into(&mut parity, slice);
-                    let a = self.layout.locate_data(m);
-                    if !self.faults.contains(a.disk) {
-                        self.plane.write(a.disk, a.block, slice)?;
-                        full_data.push((m, a));
-                    }
-                }
-                let p = self.layout.locate_parity(members[0]).expect("parity");
-                if !self.faults.contains(p.disk) {
-                    self.plane.write(p.disk, p.block, &parity)?;
-                    parity_writes.push((s, p));
-                }
-                xor_bytes += width * bs as u64;
-            } else {
-                // Partial stripe: per touched block.
-                for &m in &members {
-                    if !(lb0..lb0 + nblocks).contains(&m) {
-                        continue;
-                    }
-                    let a = self.layout.locate_data(m);
-                    let p = self.layout.locate_parity(m).expect("parity");
-                    let d_ok = !self.faults.contains(a.disk);
-                    let p_ok = !self.faults.contains(p.disk);
-                    let newd = self.slice(data, lb0, m).to_vec();
-                    match (d_ok, p_ok) {
-                        (true, true) => {
-                            // Healthy read-modify-write.
-                            let old = self.plane.read_owned(a.disk, a.block)?;
-                            let mut new_parity = self.plane.read_owned(p.disk, p.block)?;
-                            xor_into(&mut new_parity, &old);
-                            xor_into(&mut new_parity, &newd);
-                            self.plane.write(a.disk, a.block, &newd)?;
-                            self.plane.write(p.disk, p.block, &new_parity)?;
-                            rmw_plans.push((m, a, p));
-                        }
-                        (true, false) => {
-                            // Parity disk dead: data write only.
-                            self.plane.write(a.disk, a.block, &newd)?;
-                            bare_data.push((m, a));
-                        }
-                        (false, true) => {
-                            // Reconstruct-write: the new block exists only
-                            // through parity = new XOR surviving siblings.
-                            let mut parity = newd;
-                            let mut sibs = Vec::new();
-                            for sib in self.layout.stripe_blocks(s) {
-                                if sib == m {
-                                    continue;
-                                }
-                                let sa = self.layout.locate_data(sib);
-                                let bytes = self.plane.read_owned(sa.disk, sa.block)?;
-                                xor_into(&mut parity, &bytes);
-                                sibs.push(sa);
-                            }
-                            self.plane.write(p.disk, p.block, &parity)?;
-                            reconstruct_writes.push((m, sibs, p));
-                        }
-                        (false, false) => unreachable!("checked above"),
-                    }
-                }
-            }
-        }
-
-        let ops_owned = self.ops();
-        let mut branches = Vec::new();
-        if !full_data.is_empty() {
-            let data_plans = runs_to_writes(&ops_owned, client, &merge_runs(full_data), true);
-            let parity_plans: Vec<Plan> = parity_writes
-                .iter()
-                .map(|&(_, p)| ops_owned.write_run(client, p.disk, p.block, 1, true))
-                .collect();
-            branches.push(seq(vec![
-                ops_owned.xor(client, xor_bytes),
-                par(data_plans.into_iter().chain(parity_plans).collect()),
-            ]));
-        }
-        for (_, a, p) in &rmw_plans {
-            // The four-op small-write cycle: two reads, XOR, two writes.
-            branches.push(seq(vec![
-                par(vec![
-                    ops_owned.read_run(client, a.disk, a.block, 1),
-                    ops_owned.read_run(client, p.disk, p.block, 1),
-                ]),
-                ops_owned.xor(client, 3 * bs as u64),
-                par(vec![
-                    ops_owned.write_run(client, a.disk, a.block, 1, true),
-                    ops_owned.write_run(client, p.disk, p.block, 1, true),
-                ]),
-            ]));
-        }
-        for run in merge_runs(bare_data) {
-            branches.push(ops_owned.write_run(client, run.disk, run.start, run.len(), true));
-        }
-        for (_, sibs, p) in &reconstruct_writes {
-            // Degraded write: read every surviving sibling, XOR with the
-            // new data, write the parity block.
-            let reads: Vec<Plan> =
-                sibs.iter().map(|a| ops_owned.read_run(client, a.disk, a.block, 1)).collect();
-            branches.push(seq(vec![
-                par(reads),
-                ops_owned.xor(client, width * bs as u64),
-                ops_owned.write_run(client, p.disk, p.block, 1, true),
-            ]));
-        }
-        Ok(par(branches))
-    }
-
-    /// The image addresses of a primary run, if they form one healthy
-    /// contiguous run on a single disk (the condition under which a whole
-    /// run can be redirected to the mirror copy).
-    fn image_run_of(&self, run: &Run) -> Option<(usize, u64)> {
-        let first = self.layout.locate_images(run.lbs[0]);
-        let first = first.first()?;
-        if self.faults.contains(first.disk) {
-            return None;
-        }
-        for (i, &lb) in run.lbs.iter().enumerate() {
-            let imgs = self.layout.locate_images(lb);
-            let img = imgs.first()?;
-            if img.disk != first.disk || img.block != first.block + i as u64 {
-                return None;
-            }
-        }
-        Some((first.disk, first.block))
-    }
-
-    /// Decide whether a healthy-primary run should be served by its
-    /// mirror copy, per the configured balancing policy. Returns the
-    /// redirected (disk, start) when it should.
-    fn balance_run(&mut self, run: &Run) -> Option<(usize, u64)> {
-        let payload = run.len() * self.block_size();
-        let choice = match self.cfg.read_balance {
-            ReadBalance::PrimaryOnly => None,
-            ReadBalance::LayoutPreference => {
-                if matches!(self.layout.read_source(run.lbs[0], &self.faults), ReadSource::Image(_))
-                {
-                    self.image_run_of(run)
-                } else {
-                    None
-                }
-            }
-            ReadBalance::LeastLoaded => match self.image_run_of(run) {
-                Some((img_disk, start)) if self.read_load[img_disk] < self.read_load[run.disk] => {
-                    Some((img_disk, start))
-                }
-                _ => None,
-            },
-        };
-        match choice {
-            Some((disk, _)) => self.read_load[disk] += payload,
-            None => self.read_load[run.disk] += payload,
-        }
-        choice
+        self.images.len()
     }
 
     /// Read `nblocks` logical blocks starting at `lb0` for node `client`.
@@ -614,7 +284,7 @@ impl IoSystem {
         lb0: u64,
         nblocks: u64,
     ) -> Result<(Vec<u8>, Plan), IoError> {
-        self.validate_range(lb0, nblocks)?;
+        frontend::validate_range(lb0, nblocks, self.capacity_blocks())?;
         let bs = self.block_size() as usize;
         let mut out = vec![0u8; nblocks as usize * bs];
 
@@ -638,10 +308,13 @@ impl IoSystem {
             }
         }
 
-        // Run-level replica selection for the healthy primaries.
+        // Front end: run-level replica selection for the healthy primaries.
+        let block_size = self.block_size();
         let mut physical: Vec<(usize, u64, u64, Vec<u64>)> = Vec::new(); // disk, start, len, lbs
         for run in merge_runs(healthy) {
-            match self.balance_run(&run) {
+            let choice =
+                self.balancer.balance_run(self.layout.as_ref(), &self.faults, block_size, &run);
+            match choice {
                 Some((disk, start)) => physical.push((disk, start, run.len(), run.lbs)),
                 None => physical.push((run.disk, run.start, run.len(), run.lbs)),
             }
@@ -694,159 +367,4 @@ impl IoSystem {
         self.faults.insert(disk);
         self.plane.fail(disk);
     }
-
-    /// Scrub: audit that every written block's redundancy is consistent
-    /// on the functional plane — mirror images byte-identical to their
-    /// data, parity blocks equal to the XOR of their stripe. Returns the
-    /// number of redundancy relations audited; any inconsistency is an
-    /// error naming the offending block. (The real CDD would run this in
-    /// idle time; here it is the test suite's strongest invariant check.)
-    pub fn scrub(&mut self) -> Result<u64, IoError> {
-        let bs = self.block_size() as usize;
-        let mut audited = 0u64;
-        let width = self.layout.stripe_width() as u64;
-        for lb in 0..self.high_water {
-            let d = self.layout.locate_data(lb);
-            if self.faults.contains(d.disk) {
-                continue;
-            }
-            let data = self.plane.read_owned(d.disk, d.block)?;
-            // Mirror images must match exactly.
-            for img in self.layout.locate_images(lb) {
-                if self.faults.contains(img.disk) {
-                    continue;
-                }
-                let copy = self.plane.read_owned(img.disk, img.block)?;
-                if copy != data {
-                    return Err(IoError::DataLoss { lb });
-                }
-                audited += 1;
-            }
-            // Parity must equal the XOR of the whole stripe (checked once
-            // per stripe, at its first member).
-            if let Some(p) = self.layout.locate_parity(lb) {
-                let (s, pos) = self.layout.stripe_of(lb);
-                if pos == 0 && !self.faults.contains(p.disk) {
-                    let mut acc = vec![0u8; bs];
-                    let mut complete = true;
-                    for member in self.layout.stripe_blocks(s) {
-                        let a = self.layout.locate_data(member);
-                        if self.faults.contains(a.disk) {
-                            complete = false;
-                            break;
-                        }
-                        let bytes = self.plane.read_owned(a.disk, a.block)?;
-                        xor_into(&mut acc, &bytes);
-                    }
-                    if complete {
-                        let parity = self.plane.read_owned(p.disk, p.block)?;
-                        if parity != acc {
-                            return Err(IoError::DataLoss { lb: s * width });
-                        }
-                        audited += 1;
-                    }
-                }
-            }
-        }
-        Ok(audited)
-    }
-
-    /// Replace `disk` with a blank spare and restore every block it held
-    /// (primaries, images and parity), driven from node `client`.
-    /// Returns the timing plan and the number of blocks restored.
-    pub fn rebuild_disk(&mut self, client: usize, disk: usize) -> Result<(Plan, usize), IoError> {
-        assert!(self.faults.contains(disk), "rebuilding a healthy disk");
-        let mut remaining = self.faults.clone();
-        remaining.remove(disk);
-        let steps = plan_rebuild(self.layout.as_ref(), disk, &remaining, self.high_water)
-            .map_err(|lost| IoError::DataLoss { lb: lost[0] })?;
-        self.plane.replace(disk);
-
-        let bs = self.block_size() as usize;
-        let mut step_plans = Vec::with_capacity(steps.len());
-        // Split borrows: collect functional actions first, then build plans.
-        for step in &steps {
-            match &step.source {
-                RebuildSource::Copy(lb) => {
-                    let src = match self.layout.read_source(*lb, &self.faults) {
-                        ReadSource::Primary(a) | ReadSource::Image(a) => a,
-                        _ => return Err(IoError::DataLoss { lb: *lb }),
-                    };
-                    let bytes = self.plane.read_owned(src.disk, src.block)?;
-                    self.plane.write(step.target.disk, step.target.block, &bytes)?;
-                }
-                RebuildSource::Xor { siblings, parity } => {
-                    let mut acc = vec![0u8; bs];
-                    for (_, a) in siblings {
-                        let b = self.plane.read_owned(a.disk, a.block)?;
-                        xor_into(&mut acc, &b);
-                    }
-                    if let Some(p) = parity {
-                        let b = self.plane.read_owned(p.disk, p.block)?;
-                        xor_into(&mut acc, &b);
-                    }
-                    self.plane.write(step.target.disk, step.target.block, &acc)?;
-                }
-            }
-        }
-        let ops = self.ops();
-        for step in &steps {
-            let write = ops.write_run(client, step.target.disk, step.target.block, 1, false);
-            let plan = match &step.source {
-                RebuildSource::Copy(lb) => {
-                    let src = match self.layout.read_source(*lb, &self.faults) {
-                        ReadSource::Primary(a) | ReadSource::Image(a) => a,
-                        _ => unreachable!("checked above"),
-                    };
-                    seq(vec![ops.read_run(client, src.disk, src.block, 1), write])
-                }
-                RebuildSource::Xor { siblings, parity } => {
-                    let mut reads: Vec<Plan> = siblings
-                        .iter()
-                        .map(|(_, a)| ops.read_run(client, a.disk, a.block, 1))
-                        .collect();
-                    if let Some(p) = parity {
-                        reads.push(ops.read_run(client, p.disk, p.block, 1));
-                    }
-                    let n = reads.len() as u64 + 1;
-                    seq(vec![par(reads), ops.xor(client, n * bs as u64), write])
-                }
-            };
-            step_plans.push(plan);
-        }
-        self.faults.remove(disk);
-
-        // Pace the rebuild in batches (a real rebuilder bounds outstanding
-        // I/O rather than flooding every queue at once).
-        let batched: Vec<Plan> = step_plans.chunks(32).map(|c| par(c.to_vec())).collect();
-        Ok((seq(batched), steps.len()))
-    }
-}
-
-fn runs_to_writes(ops: &OpBuilder<'_>, client: usize, runs: &[Run], ack: bool) -> Vec<Plan> {
-    runs.iter().map(|r| ops.write_run(client, r.disk, r.start, r.len(), ack)).collect()
-}
-
-/// Build the background write plans for flushed image blocks, merging
-/// physically consecutive blocks into single long writes and shipping each
-/// run from the node that buffered its first member.
-fn image_flush_plans(ops: &OpBuilder<'_>, mut items: Vec<(usize, u64, BlockAddr)>) -> Vec<Plan> {
-    items.sort_unstable_by_key(|&(_, _, a)| (a.disk, a.block));
-    let mut plans = Vec::new();
-    let mut i = 0;
-    while i < items.len() {
-        let (client, _, start) = items[i];
-        let mut len = 1u64;
-        while i + len as usize != items.len() {
-            let (_, _, next) = items[i + len as usize];
-            if next.disk == start.disk && next.block == start.block + len {
-                len += 1;
-            } else {
-                break;
-            }
-        }
-        plans.push(ops.write_run(client, start.disk, start.block, len, false));
-        i += len as usize;
-    }
-    plans
 }

@@ -4,11 +4,8 @@
 //! every read must agree byte-for-byte as long as the failure pattern is
 //! one the layout tolerates.
 
-use cdd::{CddConfig, IoSystem};
-use cluster::ClusterConfig;
 use raidx_core::{Arch, FaultSet};
 use sim_core::check::{run_cases, Gen};
-use sim_core::Engine;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -44,10 +41,8 @@ impl Model {
 }
 
 fn run_scenario(arch: Arch, ops: Vec<Op>) {
-    let mut cc = ClusterConfig::shape(4, 2);
-    cc.disk.capacity = 8 << 20; // tiny disks keep the plane small
-    let mut engine = Engine::new();
-    let mut sys = IoSystem::new(&mut engine, cc, arch, CddConfig::default());
+    // Tiny disks keep the plane small.
+    let (_engine, mut sys) = cdd::testkit::shape(4, 2, 8 << 20, arch);
     let bs = sys.block_size() as usize;
     let cap = sys.capacity_blocks();
     let mut model = Model::new(cap);

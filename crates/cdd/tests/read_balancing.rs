@@ -2,16 +2,12 @@
 //! "I/O load balancing" follow-up, implemented in the CDD client module).
 
 use cdd::{CddConfig, IoSystem, ReadBalance};
-use cluster::ClusterConfig;
 use raidx_core::Arch;
 use sim_core::Engine;
 
 fn setup(policy: ReadBalance, arch: Arch) -> (Engine, IoSystem) {
-    let mut cc = ClusterConfig::shape(4, 1);
-    cc.disk.capacity = 64 << 20;
-    let mut e = Engine::new();
     let cfg = CddConfig { read_balance: policy, ..CddConfig::default() };
-    let mut s = IoSystem::new(&mut e, cc, arch, cfg);
+    let (e, mut s) = cdd::testkit::shape_with(4, 1, 64 << 20, arch, cfg);
     // Seed data across many stripes.
     let bs = s.block_size() as usize;
     let data: Vec<u8> = (0..64 * bs).map(|i| (i % 251) as u8).collect();

@@ -2,22 +2,14 @@
 //! through any architecture must read back identically — through the
 //! healthy path, the degraded path, and after rebuild.
 
-use cdd::{CddConfig, IoError, IoSystem};
-use cluster::ClusterConfig;
+use cdd::{IoError, IoSystem};
 use raidx_core::Arch;
 use sim_core::Engine;
 
-/// A small cluster so tests stay fast: 4 nodes x 1 disk, tiny disks.
-fn small_cfg() -> ClusterConfig {
-    let mut cfg = ClusterConfig::shape(4, 1);
-    cfg.disk.capacity = 4 << 20; // 4 MB disks -> 128 blocks
-    cfg
-}
-
+/// A small cluster so tests stay fast: 4 nodes x 1 disk, tiny disks
+/// (4 MB -> 128 blocks).
 fn sys(arch: Arch) -> (Engine, IoSystem) {
-    let mut e = Engine::new();
-    let s = IoSystem::new(&mut e, small_cfg(), arch, CddConfig::default());
-    (e, s)
+    cdd::testkit::shape(4, 1, 4 << 20, arch)
 }
 
 /// Deterministic test pattern: each block filled with bytes derived from
@@ -82,11 +74,8 @@ fn single_disk_failure_every_redundant_architecture() {
 
 #[test]
 fn raidx_tolerates_one_failure_per_row() {
-    let mut cfg = small_cfg();
-    cfg.nodes = 4;
-    cfg.disks_per_node = 3; // 4x3 array
-    let mut e = Engine::new();
-    let mut s = IoSystem::new(&mut e, cfg, Arch::RaidX, CddConfig::default());
+    // 4x3 array, 4 MB disks.
+    let (_e, mut s) = cdd::testkit::shape(4, 3, 4 << 20, Arch::RaidX);
     let bs = s.block_size() as usize;
     let data = pattern(0, 36, bs);
     s.write(0, 0, &data).unwrap();

@@ -1,6 +1,6 @@
 //! Functional tests of the cluster file system over real block stores.
 
-use cdd::{BlockStore, CddConfig, IoSystem};
+use cdd::{BlockStore, IoSystem};
 use cfs::{Fs, FsError, InodeKind};
 use cluster::ClusterConfig;
 use nfs_sim::{NfsConfig, NfsSystem};
@@ -8,11 +8,7 @@ use raidx_core::Arch;
 use sim_core::Engine;
 
 fn raidx_store() -> (Engine, IoSystem) {
-    let mut cfg = ClusterConfig::shape(4, 1);
-    cfg.disk.capacity = 64 << 20; // 64 MB per disk
-    let mut e = Engine::new();
-    let s = IoSystem::new(&mut e, cfg, Arch::RaidX, CddConfig::default());
-    (e, s)
+    cdd::testkit::shape(4, 1, 64 << 20, Arch::RaidX)
 }
 
 fn make_fs() -> (Engine, Fs<IoSystem>) {

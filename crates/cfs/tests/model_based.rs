@@ -5,12 +5,9 @@
 
 use std::collections::{HashMap, HashSet};
 
-use cdd::{CddConfig, IoSystem};
 use cfs::{Fs, FsError};
-use cluster::ClusterConfig;
 use raidx_core::Arch;
 use sim_core::check::{run_cases, Gen};
-use sim_core::Engine;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -64,10 +61,7 @@ struct Model {
 fn fs_agrees_with_model() {
     run_cases("fs_agrees_with_model", 32, |g| {
         let script = g.vec_of(1..60, draw_op);
-        let mut cc = ClusterConfig::shape(4, 1);
-        cc.disk.capacity = 64 << 20;
-        let mut engine = Engine::new();
-        let store = IoSystem::new(&mut engine, cc, Arch::RaidX, CddConfig::default());
+        let (_engine, store) = cdd::testkit::shape(4, 1, 64 << 20, Arch::RaidX);
         let (mut fs, _) = Fs::format(store, 256, 0).unwrap();
         let mut model = Model::default();
 

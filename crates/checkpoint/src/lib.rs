@@ -184,16 +184,11 @@ pub fn verify_checkpoint<S: BlockStore>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cdd::{CddConfig, IoSystem};
-    use cluster::ClusterConfig;
+    use cdd::IoSystem;
     use raidx_core::Arch;
 
     fn setup(nodes: usize, k: usize) -> (Engine, IoSystem) {
-        let mut cc = ClusterConfig::shape(nodes, k);
-        cc.disk.capacity = 256 << 20;
-        let mut e = Engine::new();
-        let s = IoSystem::new(&mut e, cc, Arch::RaidX, CddConfig::default());
-        (e, s)
+        cdd::testkit::shape(nodes, k, 256 << 20, Arch::RaidX)
     }
 
     #[test]

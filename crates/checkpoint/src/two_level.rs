@@ -121,11 +121,7 @@ mod tests {
     use raidx_core::Arch;
 
     fn setup() -> (Engine, IoSystem) {
-        let mut cc = ClusterConfig::trojans();
-        cc.disk.capacity = 1 << 30;
-        let mut e = Engine::new();
-        let s = IoSystem::new(&mut e, cc, Arch::RaidX, CddConfig::default());
-        (e, s)
+        cdd::testkit::trojans_with_capacity(Arch::RaidX, 1 << 30)
     }
 
     #[test]
@@ -183,8 +179,7 @@ mod tests {
             let mut cc = ClusterConfig::trojans();
             cc.disk.capacity = 1 << 30;
             cc.net.link_rate = 2_000_000; // congested 2 MB/s links
-            let mut e = Engine::new();
-            let mut sys = IoSystem::new(&mut e, cc, Arch::RaidX, CddConfig::default());
+            let (mut e, mut sys) = cdd::testkit::build(cc, Arch::RaidX);
             run_two_level(&mut e, &mut sys, 7, 90).unwrap()
         };
         // Local recovery time barely moves; remote recovery collapses.

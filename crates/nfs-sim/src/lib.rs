@@ -12,7 +12,7 @@
 //! one 32 KB block here) and synchronous writes (each write RPC is stable
 //! on disk before the reply).
 
-use cdd::IoError;
+use cdd::{frontend, IoError};
 use cluster::{Cluster, ClusterConfig, DataPlane};
 use raidx_core::{Layout, Raid0};
 use sim_core::plan::{par, seq, use_res};
@@ -95,22 +95,14 @@ impl NfsSystem {
         use_res(self.cluster.nodes[self.server].cpu, Demand::Busy(self.cfg.nfsd_overhead))
     }
 
-    fn validate(&self, lb0: u64, nblocks: u64) -> Result<(), IoError> {
-        let cap = self.capacity_blocks();
-        if lb0 + nblocks > cap {
-            return Err(IoError::OutOfRange { lb: lb0 + nblocks - 1, capacity: cap });
-        }
-        Ok(())
-    }
-
     /// Write `data` at logical block `lb0` from node `client`.
+    ///
+    /// Admission goes through the same `cdd::frontend` checks as the
+    /// serverless array, so both stores reject malformed I/O with
+    /// identical [`IoError`] variants.
     pub fn write(&mut self, client: usize, lb0: u64, data: &[u8]) -> Result<Plan, IoError> {
         let bs = self.block_size() as usize;
-        if data.is_empty() || !data.len().is_multiple_of(bs) {
-            return Err(IoError::BadLength { expected: bs, got: data.len() });
-        }
-        let nblocks = (data.len() / bs) as u64;
-        self.validate(lb0, nblocks)?;
+        let nblocks = frontend::validate_write(bs, self.capacity_blocks(), lb0, data.len())?;
         let mut rpcs = Vec::with_capacity(nblocks as usize);
         for (i, lb) in (lb0..lb0 + nblocks).enumerate() {
             let a = self.layout.locate_data(lb);
@@ -141,7 +133,7 @@ impl NfsSystem {
         lb0: u64,
         nblocks: u64,
     ) -> Result<(Vec<u8>, Plan), IoError> {
-        self.validate(lb0, nblocks)?;
+        frontend::validate_range(lb0, nblocks, self.capacity_blocks())?;
         let bs = self.block_size() as usize;
         let mut out = vec![0u8; nblocks as usize * bs];
         let mut rpcs = Vec::with_capacity(nblocks as usize);

@@ -1,0 +1,104 @@
+//! Regression test for the shared admission layer: the centralized NFS
+//! baseline and the serverless CDD array must reject malformed I/O with
+//! *identical* `IoError` variants and fields, because both now admit
+//! requests through `cdd::frontend`. Before the layering refactor each
+//! store carried its own hand-rolled checks and the reported errors
+//! drifted (different `BadLength::expected`, different `OutOfRange::lb`).
+
+use cdd::IoError;
+use cluster::ClusterConfig;
+use nfs_sim::{NfsConfig, NfsSystem};
+use raidx_core::Arch;
+use sim_core::Engine;
+
+fn nfs() -> (Engine, NfsSystem) {
+    let mut cc = ClusterConfig::shape(4, 1);
+    cc.disk.capacity = 4 << 20;
+    let mut e = Engine::new();
+    let s = NfsSystem::new(&mut e, cc, NfsConfig::default());
+    (e, s)
+}
+
+fn cdd_array() -> (Engine, cdd::IoSystem) {
+    cdd::testkit::shape(4, 1, 4 << 20, Arch::RaidX)
+}
+
+/// A 2-block request starting at the store's last valid block must be
+/// rejected with `OutOfRange` naming the last *requested* block and the
+/// store's capacity — the same report from both admission paths.
+fn straddling_read_error(store: &mut dyn cdd::BlockStore) -> (u64, u64, u64) {
+    let cap = store.capacity_blocks();
+    match store.read(0, cap - 1, 2) {
+        Err(IoError::OutOfRange { lb, capacity }) => (cap, lb, capacity),
+        other => panic!("expected OutOfRange, got {other:?}"),
+    }
+}
+
+#[test]
+fn out_of_range_errors_are_identical() {
+    let (_e1, mut nfs) = nfs();
+    let (_e2, mut cdd) = cdd_array();
+
+    // Each store reports relative to its own capacity (the NFS export is
+    // one disk; the array is cluster-wide), but the *shape* of the report
+    // is shared: lb = last requested block = capacity.
+    for store in [&mut nfs as &mut dyn cdd::BlockStore, &mut cdd] {
+        let (cap, lb, capacity) = straddling_read_error(store);
+        assert_eq!(lb, cap, "last requested block should be reported");
+        assert_eq!(capacity, cap);
+    }
+
+    // Writes past the end produce the identical report.
+    let bs = nfs.block_size() as usize;
+    let cap = nfs.capacity_blocks();
+    let buf = vec![0u8; 2 * bs];
+    match nfs.write(0, cap - 1, &buf) {
+        Err(IoError::OutOfRange { lb, capacity }) => {
+            assert_eq!((lb, capacity), (cap, cap));
+        }
+        other => panic!("expected OutOfRange, got {other:?}"),
+    }
+    let cap = cdd.capacity_blocks();
+    match cdd.write(0, cap - 1, &buf) {
+        Err(IoError::OutOfRange { lb, capacity }) => {
+            assert_eq!((lb, capacity), (cap, cap));
+        }
+        other => panic!("expected OutOfRange, got {other:?}"),
+    }
+}
+
+#[test]
+fn bad_length_errors_are_identical() {
+    let (_e1, mut nfs) = nfs();
+    let (_e2, mut cdd) = cdd_array();
+    let bs = nfs.block_size() as usize;
+    assert_eq!(bs as u64, cdd.block_size());
+
+    for len in [0usize, 1, bs - 1, bs + 1] {
+        let buf = vec![0u8; len];
+        let nfs_err = nfs.write(0, 0, &buf).unwrap_err();
+        let cdd_err = cdd.write(0, 0, &buf).unwrap_err();
+        match (&nfs_err, &cdd_err) {
+            (
+                IoError::BadLength { expected: ea, got: ga },
+                IoError::BadLength { expected: eb, got: gb },
+            ) => {
+                assert_eq!(ea, eb, "stores reported different expected sizes for len {len}");
+                assert_eq!(ga, gb);
+                assert_eq!(*ga, len);
+            }
+            other => panic!("len {len}: expected two BadLength errors, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn whole_block_requests_still_admitted() {
+    let (_e1, mut nfs) = nfs();
+    let (_e2, mut cdd) = cdd_array();
+    let bs = nfs.block_size() as usize;
+    let buf = vec![7u8; 3 * bs];
+    nfs.write(0, 0, &buf).expect("NFS rejected a valid write");
+    cdd.write(0, 0, &buf).expect("CDD rejected a valid write");
+    assert_eq!(nfs.read(1, 0, 3).unwrap().0, cdd.read(1, 0, 3).unwrap().0);
+}

@@ -9,8 +9,6 @@
 //! FNV-1a. Any divergence is reported with the first differing trace
 //! line.
 
-use cdd::{CddConfig, IoSystem};
-use cluster::ClusterConfig;
 use raidx_core::Arch;
 use sim_core::Engine;
 use workloads::parallel_io::{run_parallel_io, IoPattern, ParallelIoConfig};
@@ -79,10 +77,7 @@ pub fn engine_fingerprint(engine: &Engine) -> u64 {
 }
 
 fn one_run(arch: Arch) -> (u64, Vec<String>) {
-    let mut engine = Engine::new();
-    let mut cc = ClusterConfig::shape(4, 2);
-    cc.disk.capacity = 8 << 20;
-    let mut sys = IoSystem::new(&mut engine, cc, arch, CddConfig::default());
+    let (mut engine, mut sys) = cdd::testkit::shape(4, 2, 8 << 20, arch);
     let cfg = ParallelIoConfig {
         clients: 4,
         pattern: IoPattern::LargeWrite,

@@ -424,16 +424,10 @@ mod tests {
     /// End-to-end: the trace recorded by a real `IoSystem` is clean.
     #[test]
     fn real_iosystem_trace_is_clean() {
-        use cdd::{CddConfig, IoSystem};
-        use cluster::ClusterConfig;
         use raidx_core::Arch;
-        use sim_core::Engine;
 
-        let mut engine = Engine::new();
-        let mut cc = ClusterConfig::shape(4, 1);
-        cc.disk.capacity = 4 << 20;
-        let bs = cc.block_size as usize;
-        let mut sys = IoSystem::new(&mut engine, cc, Arch::RaidX, CddConfig::default());
+        let (_engine, mut sys) = cdd::testkit::shape(4, 1, 4 << 20, Arch::RaidX);
+        let bs = sys.block_size() as usize;
         sys.enable_lock_trace();
         let buf = vec![0x5A; bs];
         for client in 0..4 {

@@ -7,8 +7,6 @@
 //! full-stripe), degraded reads, and rebuild plans. Any defect here means
 //! an I/O engine emits a plan the simulator could choke on.
 
-use cdd::{CddConfig, IoSystem};
-use cluster::ClusterConfig;
 use raidx_core::Arch;
 use sim_core::Engine;
 
@@ -29,11 +27,8 @@ fn check_plan(report: &mut PassReport, engine: &Engine, name: String, plan: &sim
 pub fn lint_io_paths() -> PassReport {
     let mut report = PassReport::new("plan-lint");
     for arch in Arch::ALL {
-        let mut engine = Engine::new();
-        let mut cc = ClusterConfig::shape(4, 2);
-        cc.disk.capacity = 4 << 20;
-        let bs = cc.block_size as usize;
-        let mut sys = IoSystem::new(&mut engine, cc, arch, CddConfig::default());
+        let (engine, mut sys) = cdd::testkit::shape(4, 2, 4 << 20, arch);
+        let bs = sys.block_size() as usize;
         let name = sys.layout().name();
         let stripe = sys.layout().stripe_width();
 

@@ -17,11 +17,8 @@
 //! stream and asserts the comparator catches it — guarding against the
 //! fingerprint silently degenerating into a constant.
 
-use cdd::{CddConfig, IoSystem};
-use cluster::ClusterConfig;
 use raidx_core::Arch;
 use sim_core::trace::{render_event, EventLog, TimedEvent};
-use sim_core::Engine;
 use workloads::parallel_io::{run_parallel_io, IoPattern, ParallelIoConfig};
 
 use crate::report::PassReport;
@@ -82,10 +79,7 @@ impl TraceAudit {
 }
 
 fn one_traced_run(arch: Arch) -> Vec<TimedEvent> {
-    let mut engine = Engine::new();
-    let mut cc = ClusterConfig::shape(4, 2);
-    cc.disk.capacity = 8 << 20;
-    let mut sys = IoSystem::new(&mut engine, cc, arch, CddConfig::default());
+    let (mut engine, mut sys) = cdd::testkit::shape(4, 2, 8 << 20, arch);
     let log = EventLog::new();
     engine.set_tracer(Box::new(log.clone()));
     let cfg = ParallelIoConfig {
@@ -160,7 +154,7 @@ mod tests {
     use super::*;
     use sim_core::plan::use_res;
     use sim_core::trace::{TracePoint, Tracer};
-    use sim_core::{Demand, FixedRate, SimTime};
+    use sim_core::{Demand, Engine, FixedRate, SimTime};
 
     #[test]
     fn all_archs_trace_deterministic() {

@@ -168,15 +168,13 @@ pub fn run_andrew<S: BlockStore>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cdd::{CddConfig, IoSystem};
     use cluster::ClusterConfig;
     use raidx_core::Arch;
 
     fn run(arch: Arch, clients: usize) -> AndrewResult {
-        let mut engine = Engine::new();
         let mut cc = ClusterConfig::trojans();
         cc.nodes = 8;
-        let store = IoSystem::new(&mut engine, cc, arch, CddConfig::default());
+        let (mut engine, store) = cdd::testkit::build(cc, arch);
         let (mut fs, _) = Fs::format(store, 2048, 0).unwrap();
         let cfg = AndrewConfig { clients, dirs: 2, files_per_dir: 3, ..Default::default() };
         run_andrew(&mut engine, &mut fs, &cfg).unwrap()

@@ -92,14 +92,10 @@ pub fn measure_latency<S: BlockStore>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cdd::{CddConfig, IoSystem};
-    use cluster::ClusterConfig;
     use raidx_core::Arch;
 
     fn run(arch: Arch, writes: bool) -> LatencyResult {
-        let mut engine = Engine::new();
-        let mut store =
-            IoSystem::new(&mut engine, ClusterConfig::trojans(), arch, CddConfig::default());
+        let (mut engine, mut store) = cdd::testkit::trojans(arch);
         measure_latency(&mut engine, &mut store, 8, 6, writes).unwrap()
     }
 

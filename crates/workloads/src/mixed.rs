@@ -124,14 +124,10 @@ pub fn run_mixed<S: BlockStore>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cdd::{CddConfig, IoSystem};
-    use cluster::ClusterConfig;
     use raidx_core::Arch;
 
     fn run(arch: Arch) -> MixedResult {
-        let mut engine = Engine::new();
-        let mut store =
-            IoSystem::new(&mut engine, ClusterConfig::trojans(), arch, CddConfig::default());
+        let (mut engine, mut store) = cdd::testkit::trojans(arch);
         let cfg = MixedConfig { clients: 8, ops_per_client: 16, ..Default::default() };
         run_mixed(&mut engine, &mut store, &cfg).unwrap()
     }

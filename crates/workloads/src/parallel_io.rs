@@ -187,14 +187,10 @@ pub fn run_parallel_io<S: BlockStore>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cdd::{CddConfig, IoSystem};
-    use cluster::ClusterConfig;
     use raidx_core::Arch;
 
     fn run(arch: Arch, pattern: IoPattern, clients: usize) -> BandwidthResult {
-        let mut engine = Engine::new();
-        let mut store =
-            IoSystem::new(&mut engine, ClusterConfig::trojans(), arch, CddConfig::default());
+        let (mut engine, mut store) = cdd::testkit::trojans(arch);
         let cfg = ParallelIoConfig { clients, pattern, repeats: 2, ..Default::default() };
         run_parallel_io(&mut engine, &mut store, &cfg).unwrap()
     }
