@@ -1,7 +1,7 @@
 //! Run the `raidx-verify` passes and exit non-zero on any finding.
 //!
 //! ```text
-//! cargo run -p bench --bin verify_all [-- --pass <name>]... [-- --budget <n>]
+//! cargo run -p bench --bin verify_all [-- --pass <name>]... [-- --budget <n>] [-- --smoke]
 //! ```
 //!
 //! Passes: plan linting of every architecture's real I/O plans, lock-order
@@ -9,18 +9,23 @@
 //! determinism audit (double-run fingerprints plus the source-level
 //! hazard scan), the `raidx-model` interleaving checker, Wing–Gong
 //! linearizability over explored SIOS histories, the OSM/checkpoint
-//! crash-consistency audit, and the trace-determinism audit (the full
-//! observability event stream must replay byte-identically).
+//! crash-consistency audit, the trace-determinism audit (the full
+//! observability event stream must replay byte-identically), and the
+//! fault-injection sweep (every enumerated single-fault point recovers
+//! byte-for-byte and replays fingerprint-identically).
 //!
 //! `--pass <name>` (repeatable) runs only the named passes; `--budget <n>`
 //! bounds the schedules explored per model-checking scenario (default
-//! 100000). Each pass reports its wall-clock time.
+//! 100000); `--smoke` shrinks the fault sweep to its CI subset. Each pass
+//! reports its wall-clock time.
 
 use cdd::{CddConfig, IoSystem};
 use cluster::ClusterConfig;
 use raidx_core::Arch;
 use raidx_verify::{analyze_lock_trace, audit_workload, conformance_sweep, lint_io_paths};
-use raidx_verify::{crash_consistency, linearizability, model_check, trace_determinism};
+use raidx_verify::{
+    crash_consistency, fault_sweep, linearizability, model_check, trace_determinism,
+};
 use raidx_verify::{report::PassReport, source_scan};
 use sim_core::Engine;
 use std::path::Path;
@@ -105,7 +110,7 @@ fn determinism_pass() -> PassReport {
 }
 
 /// Registry of every pass, in execution order.
-const PASS_NAMES: [&str; 8] = [
+const PASS_NAMES: [&str; 9] = [
     "plan-lint",
     "lock-order",
     "layout-conformance",
@@ -114,9 +119,10 @@ const PASS_NAMES: [&str; 8] = [
     "linearizability",
     "crash-consistency",
     "trace-determinism",
+    "fault-sweep",
 ];
 
-fn run_pass(name: &str, budget: u64) -> PassReport {
+fn run_pass(name: &str, budget: u64, smoke: bool) -> PassReport {
     match name {
         "plan-lint" => lint_io_paths(),
         "lock-order" => lock_order_pass(),
@@ -126,6 +132,7 @@ fn run_pass(name: &str, budget: u64) -> PassReport {
         "linearizability" => linearizability::run_pass(budget),
         "crash-consistency" => crash_consistency::run_pass(),
         "trace-determinism" => trace_determinism::run_pass(),
+        "fault-sweep" => fault_sweep::run_pass(smoke),
         other => unreachable!("unregistered pass {other}"),
     }
 }
@@ -133,13 +140,15 @@ fn run_pass(name: &str, budget: u64) -> PassReport {
 struct Cli {
     passes: Vec<String>,
     budget: u64,
+    smoke: bool,
 }
 
 fn parse_args() -> Result<Cli, String> {
-    let mut cli = Cli { passes: Vec::new(), budget: model_check::DEFAULT_BUDGET };
+    let mut cli = Cli { passes: Vec::new(), budget: model_check::DEFAULT_BUDGET, smoke: false };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--smoke" => cli.smoke = true,
             "--pass" => {
                 // Accept underscores as separators too (`--pass
                 // trace_determinism` names the same pass).
@@ -159,7 +168,7 @@ fn parse_args() -> Result<Cli, String> {
             }
             "--help" | "-h" => {
                 return Err(format!(
-                    "usage: verify_all [--pass <name>]... [--budget <n>]\npasses: {}",
+                    "usage: verify_all [--pass <name>]... [--budget <n>] [--smoke]\npasses: {}",
                     PASS_NAMES.join(", ")
                 ));
             }
@@ -188,7 +197,7 @@ fn main() {
     for name in &selected {
         // det-ok: wall-clock spent per pass is reporting, not simulation.
         let t0 = std::time::Instant::now();
-        let p = run_pass(name, cli.budget);
+        let p = run_pass(name, cli.budget, cli.smoke);
         // det-ok: wall-clock readout of the per-pass stopwatch above.
         let secs = t0.elapsed().as_secs_f64();
         timings.push((name, secs));

@@ -50,6 +50,17 @@ pub struct CddConfig {
     pub max_image_backlog: Option<usize>,
     /// Replica-selection policy for reads.
     pub read_balance: ReadBalance,
+    /// How long a client waits on an unresponsive remote CDD before
+    /// declaring the attempt timed out and failing over to another
+    /// replica. Charged once per failed attempt on the request's timing
+    /// plan. The default (50 ms) is several disk service times — long
+    /// enough that a merely-busy disk never trips it.
+    pub request_timeout: sim_core::SimDuration,
+    /// Bounded retry: how many failover attempts a request may make after
+    /// its first try times out. `0` disables failover entirely — an
+    /// unreachable primary surfaces [`crate::IoError::Unreachable`]
+    /// immediately.
+    pub max_retries: u32,
 }
 
 impl Default for CddConfig {
@@ -63,6 +74,8 @@ impl Default for CddConfig {
             background_mirroring: true,
             max_image_backlog: None,
             read_balance: ReadBalance::default(),
+            request_timeout: SimDuration::from_millis(50),
+            max_retries: 2,
         }
     }
 }
@@ -79,5 +92,7 @@ mod tests {
         assert!(c.lock_broadcast);
         assert!(c.background_mirroring);
         assert!(c.max_image_backlog.is_none(), "write-behind is unbounded by default");
+        assert!(c.request_timeout > SimDuration::from_millis(10), "timeout >> disk service time");
+        assert!(c.max_retries >= 1, "failover must be on by default");
     }
 }

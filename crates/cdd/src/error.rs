@@ -33,6 +33,17 @@ pub enum IoError {
     },
     /// A peer holds an overlapping lock group.
     Lock(LockConflict),
+    /// Every copy of a requested block sits behind an unresponsive node
+    /// (NIC partition or crash) and the bounded retry budget is spent.
+    /// Distinct from [`IoError::DataLoss`]: the bytes still exist and the
+    /// request would succeed once the partition heals — the client must
+    /// *not* hang waiting for that.
+    Unreachable {
+        /// The unresponsive node the last attempt timed out against.
+        node: usize,
+        /// Attempts made (1 initial + retries) before giving up.
+        attempts: u32,
+    },
     /// Functional-plane failure (invariant violation).
     Disk(DiskError),
 }
@@ -48,6 +59,9 @@ impl std::fmt::Display for IoError {
             }
             IoError::DataLoss { lb } => write!(f, "block {lb} unrecoverable"),
             IoError::Lock(c) => write!(f, "lock conflict with node {}", c.holder),
+            IoError::Unreachable { node, attempts } => {
+                write!(f, "node {node} unreachable after {attempts} attempts")
+            }
             IoError::Disk(e) => write!(f, "data plane: {e}"),
         }
     }

@@ -1,0 +1,200 @@
+//! Deterministic mid-workload fault injection for the CDD data plane.
+//!
+//! [`FaultInjector`] binds a [`sim_core::FaultPlan`] of [`FaultEvent`]s
+//! to a live [`IoSystem`]: timed events fire when the engine's clock is
+//! driven past their deadline (via [`sim_core::Engine::run_until`]),
+//! point events fire when the workload announces a named trace point
+//! ([`FaultInjector::hit_point`]). Because both the schedule and the
+//! engine are deterministic, the same seed plus the same plan replays
+//! the exact same failure — the property the `fault-sweep` verify pass
+//! fingerprints.
+//!
+//! Events split into *damage* (disk fail, transient offline, NIC
+//! partition, node crash, disk slowdown) and *repair* (transient
+//! recovery, partition heal, node restart). Repair events carry the
+//! node that drives the recovery traffic; their resync/rebuild plans
+//! are spawned as detached `"recovery/…"` jobs so foreground latency
+//! accounting stays honest while repair I/O competes for the same
+//! disks and links.
+
+use sim_core::{Engine, FaultPlan, SimTime};
+
+use crate::error::IoError;
+use crate::system::IoSystem;
+
+/// One injectable cluster fault (or its repair).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Permanent disk failure: contents lost, rebuild required.
+    DiskFail {
+        /// Global disk number.
+        disk: usize,
+    },
+    /// Transient disk outage: I/O rejected, contents survive.
+    DiskTransient {
+        /// Global disk number.
+        disk: usize,
+    },
+    /// Bring a transiently-offline disk back and resync its parked
+    /// blocks, driven from `client`.
+    DiskRecover {
+        /// Global disk number.
+        disk: usize,
+        /// Node issuing the resync traffic.
+        client: usize,
+    },
+    /// Degrade a disk's service rate by an integer factor ≥ 1 (1
+    /// restores full speed). Models a failing-but-alive spindle.
+    DiskSlow {
+        /// Global disk number.
+        disk: usize,
+        /// Service-time multiplier.
+        factor: u64,
+    },
+    /// Cut a node's NIC off from the switch; its disks stay healthy but
+    /// become unreachable to remote clients.
+    NicPartition {
+        /// Partitioned node.
+        node: usize,
+    },
+    /// Reconnect a partitioned node and resync, from `client`, every
+    /// block parked against its disks during the partition window.
+    NicHeal {
+        /// Healed node.
+        node: usize,
+        /// Node issuing the resync traffic.
+        client: usize,
+    },
+    /// Whole-node crash: NIC partition plus every local disk transiently
+    /// offline; image-queue entries buffered by the node re-home.
+    NodeCrash {
+        /// Crashed node.
+        node: usize,
+    },
+    /// Restart a crashed node: reconnect it and recover each of its
+    /// transiently-offline disks, driven from `client`.
+    NodeRestart {
+        /// Restarting node.
+        node: usize,
+        /// Node issuing the recovery traffic.
+        client: usize,
+    },
+}
+
+/// Executes a [`FaultPlan`] of [`FaultEvent`]s against an engine and an
+/// I/O system, recording what fired when.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan<FaultEvent>,
+    fired: Vec<(SimTime, FaultEvent)>,
+}
+
+impl FaultInjector {
+    /// Wrap a prepared fault plan.
+    pub fn new(plan: FaultPlan<FaultEvent>) -> Self {
+        FaultInjector { plan, fired: Vec::new() }
+    }
+
+    /// Events applied so far, in firing order with their sim times.
+    pub fn fired(&self) -> &[(SimTime, FaultEvent)] {
+        &self.fired
+    }
+
+    /// Timed events not yet fired.
+    pub fn pending(&self) -> usize {
+        self.plan.pending()
+    }
+
+    /// Earliest unfired timed trigger, if any.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.plan.next_time()
+    }
+
+    /// Fire every timed event due at or before the engine's current
+    /// clock. Returns how many fired.
+    pub fn poll(&mut self, engine: &mut Engine, sys: &mut IoSystem) -> Result<usize, IoError> {
+        let due = self.plan.take_due(engine.now());
+        let n = due.len();
+        for ev in due {
+            self.apply(ev, engine, sys)?;
+        }
+        Ok(n)
+    }
+
+    /// Announce a named trace point (e.g. `"op:7"`); fires any fault
+    /// scheduled for this occurrence of the point. Returns how many fired.
+    pub fn hit_point(
+        &mut self,
+        name: &str,
+        engine: &mut Engine,
+        sys: &mut IoSystem,
+    ) -> Result<usize, IoError> {
+        let due = self.plan.hit_point(name);
+        let n = due.len();
+        for ev in due {
+            self.apply(ev, engine, sys)?;
+        }
+        Ok(n)
+    }
+
+    /// Drive the engine through every remaining *timed* trigger: run the
+    /// clock up to each deadline, fire, repeat. Point triggers are not
+    /// consumed (only the workload can hit those). The caller finishes
+    /// the run with `engine.run()` afterwards.
+    pub fn drain_timed(&mut self, engine: &mut Engine, sys: &mut IoSystem) -> Result<(), IoError> {
+        while let Some(t) = self.plan.next_time() {
+            engine.run_until(t);
+            self.poll(engine, sys)?;
+        }
+        Ok(())
+    }
+
+    fn apply(
+        &mut self,
+        ev: FaultEvent,
+        engine: &mut Engine,
+        sys: &mut IoSystem,
+    ) -> Result<(), IoError> {
+        self.fired.push((engine.now(), ev.clone()));
+        match ev {
+            FaultEvent::DiskFail { disk } => sys.fail_disk(disk),
+            FaultEvent::DiskTransient { disk } => sys.fail_disk_transient(disk),
+            FaultEvent::DiskRecover { disk, client } => {
+                let (plan, _) = sys.recover_disk_transient(client, disk)?;
+                engine.spawn_job(format!("recovery/disk{disk}"), plan);
+            }
+            FaultEvent::DiskSlow { disk, factor } => {
+                engine.set_resource_slowdown(sys.cluster.disks[disk].res, factor);
+            }
+            FaultEvent::NicPartition { node } => sys.partition_node(node),
+            FaultEvent::NicHeal { node, client } => {
+                sys.heal_node(node);
+                // Copies skipped while the node was unreachable are stale;
+                // resync every parked disk it hosts (the disks themselves
+                // stayed healthy, so resync is legal immediately).
+                for disk in 0..sys.cluster.ndisks() {
+                    if sys.cluster.node_of_disk(disk) == node
+                        && sys.parked_blocks(disk) > 0
+                        && !sys.faults().contains(disk)
+                        && !sys.offline_disks().contains(disk)
+                    {
+                        let (plan, _) = sys.resync_parked(client, disk)?;
+                        engine.spawn_job(format!("recovery/heal{node}-disk{disk}"), plan);
+                    }
+                }
+            }
+            FaultEvent::NodeCrash { node } => sys.crash_node(node),
+            FaultEvent::NodeRestart { node, client } => {
+                sys.heal_node(node);
+                for disk in 0..sys.cluster.ndisks() {
+                    if sys.cluster.node_of_disk(disk) == node && sys.offline_disks().contains(disk)
+                    {
+                        let (plan, _) = sys.recover_disk_transient(client, disk)?;
+                        engine.spawn_job(format!("recovery/restart{node}-disk{disk}"), plan);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}

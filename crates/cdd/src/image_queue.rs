@@ -84,6 +84,12 @@ impl ImageQueue {
         self.total == 0
     }
 
+    /// Number of buffered image blocks destined for `disk` — what
+    /// [`ImageQueue::remove_disk`] would drain, without draining it.
+    pub fn blocks_on_disk(&self, disk: usize) -> usize {
+        self.groups.values().flatten().filter(|p| p.addr.disk == disk).count()
+    }
+
     /// Drain every buffered group (partial groups included), in group key
     /// order. Call at sync points.
     pub fn drain_all(&mut self) -> Vec<PendingImage> {
@@ -93,6 +99,48 @@ impl ImageQueue {
         }
         self.total = 0;
         all
+    }
+
+    /// Remove every buffered image destined for `disk`, in group key
+    /// order, emptying groups as needed. Called when a disk fails or
+    /// goes offline: flushing those entries later would write into a
+    /// dead disk, and silently keeping them enqueued both leaks
+    /// [`ImageQueue::len`] accounting and strands their groups (a group
+    /// missing a member can never fill). The caller parks the returned
+    /// blocks for rebuild/resync.
+    pub fn remove_disk(&mut self, disk: usize) -> Vec<PendingImage> {
+        let mut removed = Vec::new();
+        self.groups.retain(|_, entries| {
+            entries.retain(|p| {
+                if p.addr.disk == disk {
+                    removed.push(*p);
+                    false
+                } else {
+                    true
+                }
+            });
+            !entries.is_empty()
+        });
+        self.total -= removed.len();
+        removed
+    }
+
+    /// Re-home every image buffered by crashed node `node`: the flush
+    /// would ship from a dead machine, so each entry's client becomes
+    /// `reroute(entry)` (typically the target disk's owner, which holds
+    /// the already-written primary copy locally).
+    pub fn reassign_client(
+        &mut self,
+        node: usize,
+        mut reroute: impl FnMut(&PendingImage) -> usize,
+    ) {
+        for entries in self.groups.values_mut() {
+            for p in entries.iter_mut() {
+                if p.client == node {
+                    p.client = reroute(p);
+                }
+            }
+        }
     }
 
     /// Shed whole groups — lowest key first, partial or not — until at
@@ -200,6 +248,31 @@ mod tests {
         assert_eq!(q.len(), 3);
         assert!(q.drain_overflow(5).is_empty(), "under the bound nothing sheds");
         assert!(q.drain_overflow(0).len() == 3 && q.is_empty());
+    }
+
+    #[test]
+    fn remove_disk_drops_only_that_disks_entries_and_fixes_len() {
+        let mut q = ImageQueue::new();
+        q.push(img(0, 0, 3, 10), Some((0, 8)));
+        q.push(img(0, 1, 4, 11), Some((0, 8)));
+        q.push(img(0, 9, 3, 12), Some((1, 8)));
+        assert_eq!(q.len(), 3);
+        let removed = q.remove_disk(3);
+        assert_eq!(removed.iter().map(|p| p.lb).collect::<Vec<_>>(), vec![0, 9]);
+        assert_eq!(q.len(), 1, "accounting must match the survivors");
+        assert_eq!(q.drain_all(), vec![img(0, 1, 4, 11)]);
+        assert!(q.remove_disk(3).is_empty(), "idempotent on an already-drained disk");
+    }
+
+    #[test]
+    fn reassign_client_reroutes_crashed_nodes_entries() {
+        let mut q = ImageQueue::new();
+        q.push(img(2, 0, 5, 0), Some((0, 8)));
+        q.push(img(1, 1, 6, 0), Some((0, 8)));
+        q.reassign_client(2, |p| p.addr.disk % 4);
+        let all = q.drain_all();
+        assert_eq!(all[0].client, 1, "disk 5 entry re-homed to its owner node");
+        assert_eq!(all[1].client, 1, "other clients untouched");
     }
 
     #[test]

@@ -25,7 +25,8 @@
 //! | [`scheme`] | scheme drivers: one [`scheme::SchemeDriver`] per [`raidx_core::WriteScheme`] (plain / mirror / parity) |
 //! | [`image_queue`] | data plane write-behind: the bounded OSM [`image_queue::ImageQueue`] |
 //! | [`system`] | the [`IoSystem`] orchestrator binding the layers |
-//! | [`maintenance`] | scrub and rebuild (outside the request pipeline) |
+//! | [`maintenance`] | scrub, rebuild and transient resync (outside the request pipeline) |
+//! | [`fault`] | deterministic mid-workload fault injection ([`FaultInjector`]) |
 //!
 //! Supporting modules: [`config`] (tunables, including the
 //! [`CddConfig::max_image_backlog`] backpressure bound), [`error`] (the
@@ -37,6 +38,7 @@
 
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod frontend;
 pub mod image_queue;
 pub mod locks;
@@ -52,6 +54,7 @@ pub mod testkit;
 
 pub use config::{CddConfig, ReadBalance};
 pub use error::IoError;
+pub use fault::{FaultEvent, FaultInjector};
 pub use frontend::ReadBalancer;
 pub use image_queue::{ImageQueue, PendingImage};
 pub use locks::{LockConflict, LockEvent, LockGroupTable, LockHandle, LockRecord, ReleaseError};

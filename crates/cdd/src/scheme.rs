@@ -21,6 +21,8 @@
 //! [`WriteCtx`], so the dispatch is a table lookup ([`driver_for`]) and
 //! new layouts add a driver without touching the orchestrator.
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use cluster::{xor_into, Cluster, DataPlane};
 use raidx_core::{BlockAddr, FaultSet, Layout, WriteScheme};
 use sim_core::plan::{background, par, seq};
@@ -47,6 +49,11 @@ pub struct WriteCtx<'a> {
     pub cfg: &'a CddConfig,
     /// The OSM write-behind queue (mirror drivers only).
     pub images: &'a mut ImageQueue,
+    /// Degraded-write ledger: per unavailable disk, the logical blocks
+    /// whose copy on that disk was *skipped* by a driver. Transient
+    /// recovery resyncs exactly these; permanent rebuild clears them
+    /// wholesale.
+    pub parked: &'a mut BTreeMap<usize, BTreeSet<u64>>,
 }
 
 impl<'a> WriteCtx<'a> {
@@ -60,6 +67,13 @@ impl<'a> WriteCtx<'a> {
     /// Logical block size in bytes.
     pub fn block_size(&self) -> usize {
         self.cluster.cfg.block_size as usize
+    }
+
+    /// Record that `lb`'s copy on unavailable `disk` was skipped by a
+    /// degraded write and must be restored when the disk comes back (or
+    /// is rebuilt).
+    pub fn park(&mut self, disk: usize, lb: u64) {
+        self.parked.entry(disk).or_default().insert(lb);
     }
 
     /// The block of `data` backing logical block `lb` of a request
@@ -171,13 +185,23 @@ impl SchemeDriver for MirrorDriver {
             let d = ctx.layout.locate_data(lb);
             let images = ctx.layout.locate_images(lb);
             let d_ok = !ctx.faults.contains(d.disk);
-            let healthy_images: Vec<BlockAddr> =
-                images.into_iter().filter(|a| !ctx.faults.contains(a.disk)).collect();
+            let mut healthy_images: Vec<BlockAddr> = Vec::with_capacity(images.len());
+            for a in images {
+                if ctx.faults.contains(a.disk) {
+                    // Degraded write: the surviving copies go down now;
+                    // the skipped one is parked for resync/rebuild.
+                    ctx.park(a.disk, lb);
+                } else {
+                    healthy_images.push(a);
+                }
+            }
             if !d_ok && healthy_images.is_empty() {
                 return Err(IoError::DataLoss { lb });
             }
             if d_ok {
                 fg.push((lb, d));
+            } else {
+                ctx.park(d.disk, lb);
             }
             for img in healthy_images {
                 // With the primary gone the image is the only durable copy,
@@ -277,12 +301,16 @@ impl SchemeDriver for ParityDriver {
                     if !ctx.faults.contains(a.disk) {
                         ctx.plane.write(a.disk, a.block, slice)?;
                         full_data.push((m, a));
+                    } else {
+                        ctx.park(a.disk, m);
                     }
                 }
                 let p = ctx.layout.locate_parity(members[0]).expect("parity");
                 if !ctx.faults.contains(p.disk) {
                     ctx.plane.write(p.disk, p.block, &parity)?;
                     parity_writes.push((s, p));
+                } else {
+                    ctx.park(p.disk, members[0]);
                 }
                 xor_bytes += width * bs as u64;
             } else {
@@ -308,13 +336,16 @@ impl SchemeDriver for ParityDriver {
                             rmw_plans.push((m, a, p));
                         }
                         (true, false) => {
-                            // Parity disk dead: data write only.
+                            // Parity disk dead: data write only; park the
+                            // stale parity for recomputation on recovery.
                             ctx.plane.write(a.disk, a.block, &newd)?;
+                            ctx.park(p.disk, m);
                             bare_data.push((m, a));
                         }
                         (false, true) => {
                             // Reconstruct-write: the new block exists only
                             // through parity = new XOR surviving siblings.
+                            ctx.park(a.disk, m);
                             let mut parity = newd;
                             let mut sibs = Vec::new();
                             for sib in ctx.layout.stripe_blocks(s) {

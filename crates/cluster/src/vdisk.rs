@@ -32,6 +32,14 @@ pub enum DiskError {
         /// Length actually supplied.
         got: usize,
     },
+    /// The disk is transiently offline (power glitch, pulled cable): it
+    /// rejects I/O but its contents survive and return on recovery —
+    /// the paper's *transient* failure class, distinct from
+    /// [`DiskError::Failed`] where the media is gone.
+    Offline {
+        /// Offline disk index.
+        disk: usize,
+    },
 }
 
 impl std::fmt::Display for DiskError {
@@ -44,6 +52,7 @@ impl std::fmt::Display for DiskError {
             DiskError::BadLength { expected, got } => {
                 write!(f, "buffer of {got} bytes, block size is {expected}")
             }
+            DiskError::Offline { disk } => write!(f, "disk {disk} is transiently offline"),
         }
     }
 }
@@ -52,6 +61,8 @@ impl std::error::Error for DiskError {}
 struct SparseDisk {
     blocks: HashMap<u64, Box<[u8]>>,
     failed: bool,
+    /// Transient outage: I/O rejected, contents retained.
+    offline: bool,
 }
 
 /// The in-memory contents of every disk in the single I/O space.
@@ -76,7 +87,7 @@ impl DataPlane {
             block_size,
             capacity_blocks,
             disks: (0..ndisks)
-                .map(|_| SparseDisk { blocks: HashMap::new(), failed: false })
+                .map(|_| SparseDisk { blocks: HashMap::new(), failed: false, offline: false })
                 .collect(),
             bytes_written: 0,
             bytes_read: 0,
@@ -112,6 +123,9 @@ impl DataPlane {
         let d = &self.disks[disk];
         if d.failed {
             return Err(DiskError::Failed { disk });
+        }
+        if d.offline {
+            return Err(DiskError::Offline { disk });
         }
         if block >= self.capacity_blocks {
             return Err(DiskError::OutOfRange { disk, block, capacity: self.capacity_blocks });
@@ -155,6 +169,7 @@ impl DataPlane {
     pub fn fail(&mut self, disk: usize) {
         let d = &mut self.disks[disk];
         d.failed = true;
+        d.offline = false;
         d.blocks.clear();
     }
 
@@ -162,7 +177,23 @@ impl DataPlane {
     pub fn replace(&mut self, disk: usize) {
         let d = &mut self.disks[disk];
         d.failed = false;
+        d.offline = false;
         d.blocks.clear();
+    }
+
+    /// Take a disk transiently offline (`true`) or bring it back
+    /// (`false`). Offline disks reject I/O like failed ones, but their
+    /// contents are *retained* and readable again after recovery — only
+    /// writes that happened during the outage are missing, which is
+    /// exactly what the CDD's parked-block resync repairs.
+    pub fn set_offline(&mut self, disk: usize, offline: bool) {
+        assert!(!self.disks[disk].failed, "a failed disk cannot change offline state");
+        self.disks[disk].offline = offline;
+    }
+
+    /// True if the disk is transiently offline.
+    pub fn is_offline(&self, disk: usize) -> bool {
+        self.disks[disk].offline
     }
 
     /// True if the disk is currently failed.
@@ -223,6 +254,33 @@ mod tests {
         p.replace(1);
         assert_eq!(p.read_owned(1, 3).unwrap(), block(0));
         assert!(p.failed_disks().is_empty());
+    }
+
+    #[test]
+    fn offline_rejects_io_but_retains_contents() {
+        let mut p = plane();
+        p.write(2, 5, &block(0x5A)).unwrap();
+        p.set_offline(2, true);
+        assert!(p.is_offline(2));
+        assert!(!p.is_failed(2));
+        assert_eq!(p.read(2, 5, &mut block(0)).unwrap_err(), DiskError::Offline { disk: 2 });
+        assert_eq!(p.write(2, 5, &block(1)).unwrap_err(), DiskError::Offline { disk: 2 });
+        // Recovery: the pre-outage contents are still there.
+        p.set_offline(2, false);
+        assert_eq!(p.read_owned(2, 5).unwrap(), block(0x5A));
+    }
+
+    #[test]
+    fn failing_an_offline_disk_escalates_to_permanent() {
+        let mut p = plane();
+        p.write(1, 0, &block(7)).unwrap();
+        p.set_offline(1, true);
+        p.fail(1);
+        assert!(p.is_failed(1) && !p.is_offline(1));
+        assert_eq!(p.read(1, 0, &mut block(0)).unwrap_err(), DiskError::Failed { disk: 1 });
+        p.replace(1);
+        assert!(!p.is_offline(1));
+        assert_eq!(p.read_owned(1, 0).unwrap(), block(0), "replacement disk is blank");
     }
 
     #[test]

@@ -302,6 +302,43 @@ impl Engine {
         Ok(RunReport { end: self.now, foreground_end: self.foreground_end })
     }
 
+    /// Run every event scheduled at or before `t`, then advance the clock
+    /// to exactly `t` and return it. Remaining events stay queued, and —
+    /// unlike [`Engine::run`] — live tasks after the partial drain are not
+    /// a deadlock: the caller typically mutates system state (injects a
+    /// fault, spawns recovery jobs) and then resumes with `run_until` or a
+    /// final [`Engine::run`]. This is the engine hook the fault-injection
+    /// layer uses to pause a simulation mid-workload at a scheduled
+    /// instant; [`crate::fault::FaultPlan`] supplies the instants.
+    pub fn run_until(&mut self, t: SimTime) -> SimTime {
+        assert!(t >= self.now, "cannot run into the past");
+        while self.events.peek().is_some_and(|Reverse(ev)| ev.time <= t) {
+            let Reverse(ev) = self.events.pop().expect("peeked event vanished");
+            debug_assert!(ev.time >= self.now, "time went backwards");
+            self.now = ev.time;
+            match ev.kind {
+                EventKind::Resume(task) | EventKind::StartJob(task) => self.advance(task),
+                EventKind::ResourceDone(r) => self.resource_done(r),
+            }
+        }
+        self.now = t;
+        self.now
+    }
+
+    /// Multiply every *subsequent* service time on `id` by `factor`
+    /// (`1` restores nominal speed). Demands already in service keep
+    /// their original completion time. Models a degraded-but-alive
+    /// component, e.g. a disk stuck in media-retry mode.
+    pub fn set_resource_slowdown(&mut self, id: ResourceId, factor: u64) {
+        assert!(factor >= 1, "slowdown factor must be >= 1");
+        self.resources[id.index()].slowdown = factor;
+    }
+
+    /// Current slowdown factor of a resource (`1` = nominal).
+    pub fn resource_slowdown(&self, id: ResourceId) -> u64 {
+        self.resources[id.index()].slowdown
+    }
+
     /// Records of all spawned jobs, in spawn order.
     pub fn jobs(&self) -> &[JobRecord] {
         &self.jobs
@@ -484,7 +521,7 @@ impl Engine {
         let pending = Pending { task: tid, demand, enqueued: now };
         let mut start_at = None;
         if slot.current.is_none() {
-            let st = slot.model.service_time(&pending.demand, now);
+            let st = slot.model.service_time(&pending.demand, now) * slot.slowdown;
             slot.stats.busy += st;
             slot.stats.ops += 1;
             slot.stats.bytes += pending.demand.bytes();
@@ -541,7 +578,7 @@ impl Engine {
         if let Some(next) = next {
             let waited = now.since(next.enqueued);
             slot.stats.queue_wait += waited;
-            let st = slot.model.service_time(&next.demand, now);
+            let st = slot.model.service_time(&next.demand, now) * slot.slowdown;
             slot.stats.busy += st;
             slot.stats.ops += 1;
             slot.stats.bytes += next.demand.bytes();
@@ -812,6 +849,53 @@ mod tests {
         let end = |j: JobId| e.jobs()[j.0 as usize].end.unwrap();
         assert!(end(j1) < end(j5), "first-come starts first");
         assert!(end(j5) < end(j3), "largest pending served before smaller");
+    }
+
+    #[test]
+    fn run_until_pauses_mid_workload_and_resumes() {
+        let mut e = Engine::new();
+        let r = e.add_resource("d", Box::new(FixedRate::per_op(SimDuration::ZERO)));
+        e.spawn_job("j", seq(vec![use_res(r, busy(10)), use_res(r, busy(10))]));
+        // Pause between the two service completions: exactly one op done.
+        let at = e.run_until(SimTime(15_000));
+        assert_eq!(at, SimTime(15_000));
+        assert_eq!(e.now(), SimTime(15_000));
+        assert_eq!(e.resource_stats(r).ops, 2); // second already in service
+        assert!(e.jobs()[0].end.is_none(), "job must still be in flight");
+        // A job spawned at the pause point interleaves with the remainder.
+        e.spawn_job("late", use_res(r, busy(5)));
+        let rep = e.run().unwrap();
+        assert_eq!(rep.end, SimTime(25_000));
+        assert_eq!(e.jobs()[0].end, Some(SimTime(20_000)));
+    }
+
+    #[test]
+    fn run_until_advances_clock_past_all_events() {
+        let mut e = Engine::new();
+        let r = e.add_resource("d", Box::new(FixedRate::per_op(SimDuration::ZERO)));
+        e.spawn_job("j", use_res(r, busy(10)));
+        assert_eq!(e.run_until(SimTime(1_000_000)), SimTime(1_000_000));
+        assert_eq!(e.jobs()[0].end, Some(SimTime(10_000)));
+        let rep = e.run().unwrap();
+        assert_eq!(rep.end, SimTime(1_000_000));
+    }
+
+    #[test]
+    fn resource_slowdown_scales_subsequent_service() {
+        let mut e = Engine::new();
+        let r = e.add_resource("d", Box::new(FixedRate::per_op(SimDuration::ZERO)));
+        assert_eq!(e.resource_slowdown(r), 1);
+        e.spawn_job("healthy", use_res(r, busy(10)));
+        e.run().unwrap();
+        assert_eq!(e.jobs()[0].latency(), SimDuration::from_micros(10));
+        e.set_resource_slowdown(r, 4);
+        e.spawn_job("degraded", use_res(r, busy(10)));
+        e.run().unwrap();
+        assert_eq!(e.jobs()[1].latency(), SimDuration::from_micros(40));
+        e.set_resource_slowdown(r, 1);
+        e.spawn_job("recovered", use_res(r, busy(10)));
+        e.run().unwrap();
+        assert_eq!(e.jobs()[2].latency(), SimDuration::from_micros(10));
     }
 
     #[test]

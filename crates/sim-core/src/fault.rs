@@ -1,0 +1,194 @@
+//! Deterministic fault scheduling: the [`FaultPlan`].
+//!
+//! A fault plan is a script of events to fire *during* engine execution,
+//! either at exact simulated times or at named trace points (e.g. "the
+//! third time op 7 is issued"). The plan itself is payload-agnostic —
+//! `sim-core` knows nothing about disks or NICs — so the storage layer
+//! defines its own fault event type and drives the plan through
+//! [`Engine::run_until`](crate::Engine::run_until): run up to the next
+//! scheduled time, take the due events, apply them to the system under
+//! test, continue. Because both triggers are expressed in simulated time
+//! and deterministic counters, the same seed and the same plan always
+//! produce the same execution — the property the fault-sweep verify pass
+//! fingerprints.
+
+use std::collections::BTreeMap;
+
+use crate::time::SimTime;
+
+/// When a scheduled fault fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// At an exact simulated time (fires the first time the clock reaches
+    /// it; drive the engine with [`crate::Engine::run_until`] to land on
+    /// the exact nanosecond).
+    At(SimTime),
+    /// On the `hit`-th occurrence (1-based) of a named trace point, as
+    /// counted by [`FaultPlan::hit_point`].
+    AtPoint {
+        /// Trace-point name (e.g. `"op:3"`, `"rebuild-batch"`).
+        point: String,
+        /// Which occurrence fires the fault (1 = the first hit).
+        hit: u64,
+    },
+}
+
+/// One scheduled fault: a trigger and an opaque payload.
+#[derive(Debug, Clone)]
+pub struct ScheduledFault<F> {
+    /// When it fires.
+    pub trigger: FaultTrigger,
+    /// What fires (interpreted by the layer that owns the plan).
+    pub fault: F,
+}
+
+/// A deterministic schedule of fault events.
+///
+/// Time-triggered events pop in `(time, insertion order)` order via
+/// [`FaultPlan::take_due`]; point-triggered events pop when their named
+/// point reaches the scheduled hit count via [`FaultPlan::hit_point`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan<F> {
+    /// Time-triggered events, kept sorted by `(time, seq)`.
+    timed: Vec<(SimTime, u64, F)>,
+    /// Point-triggered events.
+    pointed: Vec<(String, u64, F)>,
+    /// Occurrence counters per point name.
+    hits: BTreeMap<String, u64>,
+    /// Insertion counter (stable tie-break for equal times).
+    seq: u64,
+}
+
+impl<F> FaultPlan<F> {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan { timed: Vec::new(), pointed: Vec::new(), hits: BTreeMap::new(), seq: 0 }
+    }
+
+    /// Schedule `fault` at simulated time `t`.
+    pub fn at(&mut self, t: SimTime, fault: F) -> &mut Self {
+        let seq = self.seq;
+        self.seq += 1;
+        let pos = self.timed.partition_point(|&(ft, fs, _)| (ft, fs) <= (t, seq));
+        self.timed.insert(pos, (t, seq, fault));
+        self
+    }
+
+    /// Schedule `fault` on the `hit`-th occurrence (1-based) of the named
+    /// trace point.
+    pub fn at_point(&mut self, point: impl Into<String>, hit: u64, fault: F) -> &mut Self {
+        assert!(hit >= 1, "point hits are 1-based");
+        self.pointed.push((point.into(), hit, fault));
+        self
+    }
+
+    /// Schedule `fault` via an explicit [`FaultTrigger`].
+    pub fn schedule(&mut self, sf: ScheduledFault<F>) -> &mut Self {
+        match sf.trigger {
+            FaultTrigger::At(t) => self.at(t, sf.fault),
+            FaultTrigger::AtPoint { point, hit } => self.at_point(point, hit, sf.fault),
+        }
+    }
+
+    /// Earliest still-pending time trigger.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.timed.first().map(|&(t, _, _)| t)
+    }
+
+    /// Pop every time-triggered fault due at or before `now`, in schedule
+    /// order.
+    pub fn take_due(&mut self, now: SimTime) -> Vec<F> {
+        let n = self.timed.partition_point(|&(t, _, _)| t <= now);
+        self.timed.drain(..n).map(|(_, _, f)| f).collect()
+    }
+
+    /// Record one occurrence of the named trace point and pop every fault
+    /// scheduled for exactly this occurrence.
+    pub fn hit_point(&mut self, point: &str) -> Vec<F> {
+        let count = self.hits.entry(point.to_string()).or_insert(0);
+        *count += 1;
+        let now = *count;
+        let mut due = Vec::new();
+        let mut i = 0;
+        while i < self.pointed.len() {
+            if self.pointed[i].0 == point && self.pointed[i].1 == now {
+                let (_, _, f) = self.pointed.remove(i);
+                due.push(f);
+            } else {
+                i += 1;
+            }
+        }
+        due
+    }
+
+    /// Number of the named point's occurrences recorded so far.
+    pub fn point_hits(&self, point: &str) -> u64 {
+        self.hits.get(point).copied().unwrap_or(0)
+    }
+
+    /// Still-pending events (timed + pointed).
+    pub fn pending(&self) -> usize {
+        self.timed.len() + self.pointed.len()
+    }
+
+    /// True when every scheduled event has fired.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_faults_pop_in_time_then_insertion_order() {
+        let mut p = FaultPlan::new();
+        p.at(SimTime(50), "b").at(SimTime(10), "a").at(SimTime(50), "c");
+        assert_eq!(p.next_time(), Some(SimTime(10)));
+        assert_eq!(p.take_due(SimTime(9)), Vec::<&str>::new());
+        assert_eq!(p.take_due(SimTime(10)), vec!["a"]);
+        assert_eq!(p.take_due(SimTime(100)), vec!["b", "c"]);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn point_faults_fire_on_scheduled_occurrence() {
+        let mut p = FaultPlan::new();
+        p.at_point("op", 2, "second").at_point("op", 1, "first").at_point("other", 1, "x");
+        assert_eq!(p.hit_point("op"), vec!["first"]);
+        assert_eq!(p.hit_point("op"), vec!["second"]);
+        assert_eq!(p.hit_point("op"), Vec::<&str>::new());
+        assert_eq!(p.point_hits("op"), 3);
+        assert_eq!(p.hit_point("other"), vec!["x"]);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn schedule_accepts_explicit_triggers() {
+        let mut p = FaultPlan::new();
+        p.schedule(ScheduledFault { trigger: FaultTrigger::At(SimTime(7)), fault: 1u32 });
+        p.schedule(ScheduledFault {
+            trigger: FaultTrigger::AtPoint { point: "p".into(), hit: 1 },
+            fault: 2u32,
+        });
+        assert_eq!(p.pending(), 2);
+        assert_eq!(p.take_due(SimTime(7)), vec![1]);
+        assert_eq!(p.hit_point("p"), vec![2]);
+    }
+
+    #[test]
+    fn replaying_the_same_plan_is_deterministic() {
+        let build = || {
+            let mut p = FaultPlan::new();
+            for i in 0..10u64 {
+                p.at(SimTime(i % 3), i);
+            }
+            let mut out = Vec::new();
+            out.extend(p.take_due(SimTime(0)));
+            out.extend(p.take_due(SimTime(5)));
+            out
+        };
+        assert_eq!(build(), build());
+    }
+}

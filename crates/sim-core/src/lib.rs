@@ -42,6 +42,7 @@ pub mod demand;
 pub mod engine;
 pub mod explore;
 pub mod export;
+pub mod fault;
 pub mod metrics;
 pub mod plan;
 pub mod resource;
@@ -54,6 +55,7 @@ pub use demand::Demand;
 pub use engine::{DeadlockError, Engine, JobId, JobRecord, RunReport, TaskId};
 pub use explore::{Exploration, Explorer, Failure, FailureKind, Footprint, Model, ThreadId};
 pub use export::{chrome_trace_json, json_is_valid, metrics_csv, metrics_json, utilization_csv};
+pub use fault::{FaultPlan, FaultTrigger, ScheduledFault};
 pub use metrics::{Histogram, MetricsRegistry, TimeSeries};
 pub use plan::{BarrierId, Plan};
 pub use resource::{FixedRate, ResourceId, ResourceStats, ServiceModel};

@@ -132,6 +132,10 @@ pub(crate) struct ResourceSlot {
     /// Task currently in service, if any.
     pub current: Option<Pending>,
     pub stats: ResourceStats,
+    /// Service-time multiplier applied on top of the model (1 = nominal).
+    /// Fault injection uses this for "slow but alive" components, so any
+    /// [`ServiceModel`] degrades uniformly without knowing about faults.
+    pub slowdown: u64,
 }
 
 impl ResourceSlot {
@@ -142,6 +146,7 @@ impl ResourceSlot {
             queue: std::collections::VecDeque::new(),
             current: None,
             stats: ResourceStats::default(),
+            slowdown: 1,
         }
     }
 

@@ -12,8 +12,10 @@
 //! moves only 12.5 MB/s, so NFS saturates at its single server port while the
 //! distributed RAIDs aggregate one port per node.
 
+pub mod partition;
 pub mod path;
 pub mod spec;
 
+pub use partition::PartitionMap;
 pub use path::{transfer_plan, NetPath};
 pub use spec::NetSpec;

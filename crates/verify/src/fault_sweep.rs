@@ -1,0 +1,328 @@
+//! Pass 9 — fault-injection sweep.
+//!
+//! Enumerates single-fault injection points across every architecture
+//! and asserts the two properties the fault subsystem promises:
+//!
+//! * **Zero lost blocks** — a deterministic op script runs while one
+//!   fault (permanent disk failure, transient outage, NIC partition,
+//!   whole-node crash, or disk slowdown) fires mid-workload and is later
+//!   repaired (transient resync, partition heal, node restart, or a full
+//!   rebuild). Afterwards the array must be byte-identical to the
+//!   script's shadow model, the scrub must find every redundancy
+//!   relation consistent, and no parked blocks, offline disks or
+//!   partitions may remain.
+//! * **Determinism under faults** — each scenario runs twice with the
+//!   [`EventLog`] tracer installed; the full observability event streams
+//!   must fingerprint identically. Same seed + same [`FaultPlan`] ⇒ the
+//!   same execution, which is what makes an injected failure debuggable.
+//!
+//! The sweep uses a 4-node × 1-disk array so every injected fault is a
+//! *single* fault to each redundancy group — the regime all four
+//! layouts are specified to survive.
+
+use cdd::{FaultEvent, FaultInjector, IoSystem};
+use raidx_core::Arch;
+use sim_core::check::Gen;
+use sim_core::trace::EventLog;
+use sim_core::{FaultPlan, SimTime};
+use workloads::op_script::{check_against_model, gen_script, run_script};
+
+use crate::report::PassReport;
+use crate::trace_determinism::stream_fingerprint;
+
+/// The fault classes the sweep injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Permanent disk failure; repaired by a full rebuild after the
+    /// script drains.
+    Permanent,
+    /// Transient disk outage; repaired mid-script by a parked-block
+    /// resync.
+    Transient,
+    /// NIC partition of one node; healed mid-script.
+    Partition,
+    /// Whole-node crash; restarted mid-script.
+    Crash,
+    /// Disk slowdown (timing-only fault), injected on a *timed* trigger;
+    /// restored mid-script.
+    Slow,
+}
+
+impl FaultKind {
+    /// Every fault class, in sweep order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::Permanent,
+        FaultKind::Transient,
+        FaultKind::Partition,
+        FaultKind::Crash,
+        FaultKind::Slow,
+    ];
+}
+
+/// One cell of the sweep: an architecture, a fault class and the op
+/// index the fault fires at.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepScenario {
+    /// Architecture under test.
+    pub arch: Arch,
+    /// Fault class injected.
+    pub kind: FaultKind,
+    /// Script op index the fault fires before.
+    pub inject_at: usize,
+}
+
+/// What one scenario run observed.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Fingerprint of the full traced event stream.
+    pub fingerprint: u64,
+    /// Events the tracer recorded.
+    pub events: usize,
+    /// Script ops that surfaced an error.
+    pub failed_ops: usize,
+    /// Everything that violated the recovery contract (empty = clean).
+    pub problems: Vec<String>,
+}
+
+const TARGET_DISK: usize = 3;
+const TARGET_NODE: usize = 3;
+/// Node driving recovery traffic (also the read-back client).
+const DRIVER: usize = 0;
+const CLIENTS: usize = 2;
+const NOPS: usize = 40;
+const REGION_BLOCKS: u64 = 64;
+const SCRIPT_SEED: u64 = 0x00fa_0157;
+/// Ops between injection and the matching repair event.
+const REPAIR_GAP: usize = 6;
+
+/// The sweep grid: every architecture × every fault class × three
+/// injection points (early, middle, late). `smoke` cuts it to two fault
+/// classes at the middle point — the CI stage.
+pub fn scenarios(smoke: bool) -> Vec<SweepScenario> {
+    let kinds: &[FaultKind] =
+        if smoke { &[FaultKind::Permanent, FaultKind::Crash] } else { &FaultKind::ALL };
+    let points: &[usize] = if smoke { &[18] } else { &[2, 18, 32] };
+    let mut out = Vec::new();
+    for arch in Arch::ALL {
+        for &kind in kinds {
+            for &inject_at in points {
+                out.push(SweepScenario { arch, kind, inject_at });
+            }
+        }
+    }
+    out
+}
+
+fn build_plan(kind: FaultKind, inject_at: usize) -> FaultPlan<FaultEvent> {
+    let inject = format!("op:{inject_at}");
+    let repair = format!("op:{}", inject_at + REPAIR_GAP);
+    let mut plan = FaultPlan::new();
+    match kind {
+        FaultKind::Permanent => {
+            plan.at_point(inject, 1, FaultEvent::DiskFail { disk: TARGET_DISK });
+        }
+        FaultKind::Transient => {
+            plan.at_point(inject, 1, FaultEvent::DiskTransient { disk: TARGET_DISK });
+            plan.at_point(repair, 1, FaultEvent::DiskRecover { disk: TARGET_DISK, client: DRIVER });
+        }
+        FaultKind::Partition => {
+            plan.at_point(inject, 1, FaultEvent::NicPartition { node: TARGET_NODE });
+            plan.at_point(repair, 1, FaultEvent::NicHeal { node: TARGET_NODE, client: DRIVER });
+        }
+        FaultKind::Crash => {
+            plan.at_point(inject, 1, FaultEvent::NodeCrash { node: TARGET_NODE });
+            plan.at_point(repair, 1, FaultEvent::NodeRestart { node: TARGET_NODE, client: DRIVER });
+        }
+        FaultKind::Slow => {
+            // Timed trigger: exercises the run_until-driven path.
+            plan.at(SimTime(1_500_000), FaultEvent::DiskSlow { disk: TARGET_DISK, factor: 6 });
+            plan.at_point(repair, 1, FaultEvent::DiskSlow { disk: TARGET_DISK, factor: 1 });
+        }
+    }
+    plan
+}
+
+fn post_recovery_problems(sys: &mut IoSystem, kind: FaultKind) -> Vec<String> {
+    let mut problems = Vec::new();
+    if kind != FaultKind::Slow {
+        if sys.faults().iter().next().is_some() {
+            problems.push("permanent faults remain after recovery".into());
+        }
+        if sys.offline_disks().iter().next().is_some() {
+            problems.push("disks still offline after recovery".into());
+        }
+        if !sys.partitions().is_empty() {
+            problems.push("partitions remain after recovery".into());
+        }
+        if sys.parked_total() != 0 {
+            problems.push(format!("{} blocks still parked after recovery", sys.parked_total()));
+        }
+    }
+    match sys.scrub() {
+        Ok(_) => {}
+        Err(e) => problems.push(format!("post-recovery scrub failed: {e}")),
+    }
+    problems
+}
+
+/// Run one scenario once: scripted ops with the fault plan attached,
+/// repair (rebuild for the permanent class), then the full recovery
+/// contract check.
+pub fn run_scenario(sc: &SweepScenario) -> SweepOutcome {
+    let (mut engine, mut sys) = cdd::testkit::shape(4, 1, 8 << 20, sc.arch);
+    let log = EventLog::new();
+    engine.set_tracer(Box::new(log.clone()));
+    let ops = gen_script(&mut Gen::new(SCRIPT_SEED), CLIENTS, REGION_BLOCKS, NOPS);
+    let mut inj = FaultInjector::new(build_plan(sc.kind, sc.inject_at));
+
+    let mut problems = Vec::new();
+    let mut failed_ops = 0;
+    match run_script(&mut engine, &mut sys, &ops, Some(&mut inj)) {
+        Ok(out) => {
+            failed_ops = out.failed;
+            if inj.fired().is_empty() {
+                problems.push("no fault fired".into());
+            }
+            // The permanent class repairs after the script: a full
+            // rebuild under whatever background flushes are still live.
+            if sc.kind == FaultKind::Permanent {
+                match sys.rebuild_disk(DRIVER, TARGET_DISK) {
+                    Ok((plan, _)) => {
+                        engine.spawn_job("rebuild", plan);
+                        engine.run().expect("rebuild deadlocked");
+                    }
+                    Err(e) => problems.push(format!("rebuild failed: {e}")),
+                }
+            }
+            if out.failed > 0 {
+                problems.push(format!("{} ops failed under a single tolerated fault", out.failed));
+            }
+            problems.extend(post_recovery_problems(&mut sys, sc.kind));
+            match check_against_model(&mut sys, DRIVER, &out.model) {
+                Ok(Ok(())) => {}
+                Ok(Err(lb)) => problems.push(format!("block {lb} diverged from the shadow model")),
+                Err(e) => problems.push(format!("model read-back failed: {e}")),
+            }
+        }
+        Err(e) => problems.push(format!("script aborted: {e}")),
+    }
+    let events = log.events();
+    SweepOutcome {
+        fingerprint: stream_fingerprint(&events),
+        events: events.len(),
+        failed_ops,
+        problems,
+    }
+}
+
+/// Run the sweep: every scenario executes **twice**; both runs must be
+/// clean and fingerprint-identical.
+pub fn run_pass(smoke: bool) -> PassReport {
+    let mut report = PassReport::new("fault-sweep");
+    for sc in scenarios(smoke) {
+        let a = run_scenario(&sc);
+        let b = run_scenario(&sc);
+        let name = format!("{:?} {:?} @op{}", sc.arch, sc.kind, sc.inject_at);
+        let mut problems = a.problems.clone();
+        if a.fingerprint != b.fingerprint {
+            problems.push(format!(
+                "nondeterministic under faults: {:016x} vs {:016x}",
+                a.fingerprint, b.fingerprint
+            ));
+        }
+        if a.events == 0 {
+            problems.push("no events traced".into());
+        }
+        if problems.is_empty() {
+            report.ok(
+                name,
+                format!(
+                    "fingerprint {:016x}, {} events, replay identical, 0 lost blocks",
+                    a.fingerprint, a.events
+                ),
+            );
+        } else {
+            report.fail(name, problems.join("; "));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::check::run_cases;
+
+    #[test]
+    fn smoke_sweep_is_green() {
+        let report = run_pass(true);
+        assert!(report.all_ok(), "{}", report.render());
+    }
+
+    #[test]
+    fn full_grid_enumerates_all_cells() {
+        assert_eq!(scenarios(false).len(), 4 * 5 * 3);
+        assert_eq!(scenarios(true).len(), 4 * 2);
+    }
+
+    #[test]
+    fn every_fault_kind_recovers_cleanly_once() {
+        // One full-depth scenario per fault kind (the full grid runs in
+        // `verify_all`; this keeps the unit suite fast but total).
+        for kind in FaultKind::ALL {
+            let sc = SweepScenario { arch: Arch::RaidX, kind, inject_at: 10 };
+            let out = run_scenario(&sc);
+            assert!(out.problems.is_empty(), "{kind:?}: {:?}", out.problems);
+        }
+    }
+
+    /// Satellite property: random op scripts with a random single fault
+    /// injected at a random position, across every architecture and ≥8
+    /// seeds each — post-recovery contents must be byte-identical to a
+    /// fault-free reference run of the same script.
+    #[test]
+    fn random_single_fault_recovery_matches_fault_free_reference() {
+        for arch in Arch::ALL {
+            run_cases(&format!("fault-recovery-{arch:?}"), 8, |g| {
+                let nops = g.usize_in(20..36);
+                let inject_at = g.usize_in(1..nops - REPAIR_GAP - 1);
+                let kind = [
+                    FaultKind::Permanent,
+                    FaultKind::Transient,
+                    FaultKind::Partition,
+                    FaultKind::Crash,
+                ][g.usize_in(0..4)];
+                let ops = gen_script(g, CLIENTS, REGION_BLOCKS, nops);
+
+                // Faulted run.
+                let (mut engine, mut sys) = cdd::testkit::shape(4, 1, 8 << 20, arch);
+                let mut inj = FaultInjector::new(build_plan(kind, inject_at));
+                let out = run_script(&mut engine, &mut sys, &ops, Some(&mut inj))
+                    .expect("faulted script run");
+                assert!(!inj.fired().is_empty(), "fault never fired");
+                if kind == FaultKind::Permanent {
+                    let (plan, _) = sys.rebuild_disk(DRIVER, TARGET_DISK).expect("rebuild");
+                    engine.spawn_job("rebuild", plan);
+                    engine.run().expect("rebuild run");
+                }
+                assert_eq!(out.failed, 0, "single fault must be tolerated");
+
+                // Fault-free reference run of the same script.
+                let (mut ref_engine, mut ref_sys) = cdd::testkit::shape(4, 1, 8 << 20, arch);
+                let ref_out =
+                    run_script(&mut ref_engine, &mut ref_sys, &ops, None).expect("reference run");
+                assert_eq!(
+                    out.model, ref_out.model,
+                    "faulted run acknowledged a different write set"
+                );
+                assert_eq!(
+                    check_against_model(&mut sys, DRIVER, &ref_out.model).expect("read-back"),
+                    Ok(()),
+                    "post-recovery contents diverge from the fault-free reference"
+                );
+                assert_eq!(sys.parked_total(), 0);
+                sys.scrub().expect("post-recovery scrub");
+            });
+        }
+    }
+}

@@ -1,7 +1,7 @@
 #![warn(missing_docs)]
 //! # raidx-verify — static analysis and invariant verification
 //!
-//! Eight offline passes that check the reproduction's correctness
+//! Nine offline passes that check the reproduction's correctness
 //! properties *before and between* simulations, independently of the unit
 //! tests:
 //!
@@ -38,13 +38,21 @@
 //!    start/finish and barrier opening must replay byte-identically),
 //!    plus a perturbation canary that proves an injected event reorder
 //!    is detected.
+//! 9. [`fault_sweep`] — enumerates deterministic single-fault injection
+//!    points (permanent disk failure, transient outage, NIC partition,
+//!    node crash, disk slowdown) across every architecture mid-workload,
+//!    asserting byte-for-byte survival after recovery (degraded writes
+//!    resynced, rebuilds complete, scrub clean) and that every faulted
+//!    scenario replays fingerprint-identically from the same seed and
+//!    [`sim_core::FaultPlan`].
 //!
 //! Every pass is a library API first; `cargo run -p bench --bin
-//! verify_all` drives all eight (filterable with `--pass <name>`) and
+//! verify_all` drives all nine (filterable with `--pass <name>`) and
 //! exits non-zero on any finding.
 
 pub mod crash_consistency;
 pub mod determinism;
+pub mod fault_sweep;
 pub mod layout_check;
 pub mod linearizability;
 pub mod lock_order;
@@ -55,6 +63,7 @@ pub mod source_scan;
 pub mod trace_determinism;
 
 pub use determinism::{audit_workload, engine_fingerprint, DeterminismReport};
+pub use fault_sweep::{FaultKind, SweepOutcome, SweepScenario};
 pub use layout_check::{conformance_sweep, SweepRow};
 pub use linearizability::check_history;
 pub use lock_order::{analyze_lock_trace, LockAuditReport, LockDefect};

@@ -16,9 +16,10 @@ cargo test --workspace -q
 echo "==> trace_dump --smoke (trace/metrics export self-check)"
 cargo run --release -p bench --bin trace_dump -- --smoke
 
-echo "==> verify_all (plan lint, lock order, layout, determinism, model check, linearizability, crash consistency, trace determinism)"
-# --budget bounds schedules explored per model-checking scenario so the
+echo "==> verify_all (plan lint, lock order, layout, determinism, model check, linearizability, crash consistency, trace determinism, fault sweep)"
+# --budget bounds schedules explored per model-checking scenario and
+# --smoke shrinks the fault-injection sweep to its CI subset, so the
 # gate stays fast even as scenarios grow.
-cargo run --release -p bench --bin verify_all -- --budget 20000
+cargo run --release -p bench --bin verify_all -- --budget 20000 --smoke
 
 echo "ci.sh: all gates passed"
