@@ -85,6 +85,41 @@ fn bench_coalesced_write(c: &mut Criterion) {
     g.finish();
 }
 
+/// Race-detector observability overhead on the write hot path: the same
+/// 2 MB RAID-x write with no tracer installed (the single
+/// `Option::is_some` branch per emission site must be free), and with a
+/// live [`sim_core::EventLog`] recording every protocol access (the cost
+/// a traced verification run actually pays).
+fn bench_tracer_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("write_path_tracing");
+    let bytes = 2u64 << 20;
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("tracer_disabled", |b| {
+        let (_e, mut s) = testkit::trojans_with_capacity(Arch::RaidX, BENCH_DISK);
+        let payload = vec![0xABu8; bytes as usize];
+        let mut lb0 = 0u64;
+        b.iter(|| {
+            let plan = s.write(0, lb0, &payload).expect("bench setup failed");
+            lb0 = (lb0 + 64) % 65536;
+            black_box(plan.leaf_count())
+        })
+    });
+    g.bench_function("tracer_event_log", |b| {
+        let (_e, mut s) = testkit::trojans_with_capacity(Arch::RaidX, BENCH_DISK);
+        let log = sim_core::EventLog::new();
+        s.set_tracer(Box::new(log.clone()));
+        let payload = vec![0xABu8; bytes as usize];
+        let mut lb0 = 0u64;
+        b.iter(|| {
+            let plan = s.write(0, lb0, &payload).expect("bench setup failed");
+            lb0 = (lb0 + 64) % 65536;
+            black_box(plan.leaf_count())
+        });
+        black_box(log.events().len());
+    });
+    g.finish();
+}
+
 fn bench_lock_table(c: &mut Criterion) {
     c.bench_function("lock_table_acquire_release", |b| {
         let mut t = LockGroupTable::new();
@@ -119,6 +154,7 @@ criterion_group!(
     bench_write_path,
     bench_read_path,
     bench_coalesced_write,
+    bench_tracer_overhead,
     bench_lock_table,
     bench_xor_kernel
 );

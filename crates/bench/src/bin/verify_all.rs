@@ -1,7 +1,7 @@
 //! Run the `raidx-verify` passes and exit non-zero on any finding.
 //!
 //! ```text
-//! cargo run -p bench --bin verify_all [-- --pass <name>]... [-- --budget <n>] [-- --smoke]
+//! cargo run -p bench --bin verify_all [-- --pass <name>]... [-- --budget <n>] [-- --smoke] [-- --list-passes]
 //! ```
 //!
 //! Passes: plan linting of every architecture's real I/O plans, lock-order
@@ -10,21 +10,24 @@
 //! hazard scan), the `raidx-model` interleaving checker, Wing–Gong
 //! linearizability over explored SIOS histories, the OSM/checkpoint
 //! crash-consistency audit, the trace-determinism audit (the full
-//! observability event stream must replay byte-identically), and the
+//! observability event stream must replay byte-identically), the
 //! fault-injection sweep (every enumerated single-fault point recovers
-//! byte-for-byte and replays fingerprint-identically).
+//! byte-for-byte and replays fingerprint-identically), and the
+//! happens-before race detector over merged engine + protocol traces.
 //!
-//! `--pass <name>` (repeatable) runs only the named passes; `--budget <n>`
-//! bounds the schedules explored per model-checking scenario (default
-//! 100000); `--smoke` shrinks the fault sweep to its CI subset. Each pass
-//! reports its wall-clock time.
+//! `--pass <name>` (repeatable, hyphens and underscores interchangeable)
+//! runs only the named passes; `--budget <n>` bounds the schedules
+//! explored per model-checking scenario (default 100000); `--smoke`
+//! shrinks the fault sweep and race detector to their CI subsets;
+//! `--list-passes` prints the registry (stable order) and exits. Each
+//! pass reports its wall-clock time.
 
 use cdd::{CddConfig, IoSystem};
 use cluster::ClusterConfig;
 use raidx_core::Arch;
 use raidx_verify::{analyze_lock_trace, audit_workload, conformance_sweep, lint_io_paths};
 use raidx_verify::{
-    crash_consistency, fault_sweep, linearizability, model_check, trace_determinism,
+    crash_consistency, fault_sweep, linearizability, model_check, race_detect, trace_determinism,
 };
 use raidx_verify::{report::PassReport, source_scan};
 use sim_core::Engine;
@@ -109,18 +112,24 @@ fn determinism_pass() -> PassReport {
     report
 }
 
-/// Registry of every pass, in execution order.
-const PASS_NAMES: [&str; 9] = [
-    "plan-lint",
-    "lock-order",
-    "layout-conformance",
-    "determinism",
-    "model-check",
-    "linearizability",
-    "crash-consistency",
-    "trace-determinism",
-    "fault-sweep",
+/// Registry of every pass with a one-line description, in execution
+/// order (the order `--list-passes` prints and a full run executes).
+const PASSES: [(&str, &str); 10] = [
+    ("plan-lint", "reject Plan DAG shapes that would panic or deadlock the event loop"),
+    ("lock-order", "replay recorded lock-group traces for double grants, leaks and order cycles"),
+    ("layout-conformance", "exhaustive OSM/parity/mirror placement rules across array shapes"),
+    ("determinism", "double-run aggregate fingerprints plus the source-level hazard scan"),
+    ("model-check", "exhaustive interleaving of small multi-client CDD scenarios"),
+    ("linearizability", "Wing-Gong check of explored SIOS histories against a sequential spec"),
+    ("crash-consistency", "crash-point enumeration inside OSM flushes and checkpoint commits"),
+    ("trace-determinism", "full observability event stream must replay byte-identically"),
+    ("fault-sweep", "every enumerated single-fault point recovers byte-for-byte"),
+    ("race-detect", "vector-clock happens-before races and same-tick commutativity violations"),
 ];
+
+fn pass_names() -> Vec<&'static str> {
+    PASSES.iter().map(|&(n, _)| n).collect()
+}
 
 fn run_pass(name: &str, budget: u64, smoke: bool) -> PassReport {
     match name {
@@ -133,6 +142,7 @@ fn run_pass(name: &str, budget: u64, smoke: bool) -> PassReport {
         "crash-consistency" => crash_consistency::run_pass(),
         "trace-determinism" => trace_determinism::run_pass(),
         "fault-sweep" => fault_sweep::run_pass(smoke),
+        "race-detect" => race_detect::run_pass(smoke),
         other => unreachable!("unregistered pass {other}"),
     }
 }
@@ -141,22 +151,25 @@ struct Cli {
     passes: Vec<String>,
     budget: u64,
     smoke: bool,
+    list: bool,
 }
 
 fn parse_args() -> Result<Cli, String> {
-    let mut cli = Cli { passes: Vec::new(), budget: model_check::DEFAULT_BUDGET, smoke: false };
+    let mut cli =
+        Cli { passes: Vec::new(), budget: model_check::DEFAULT_BUDGET, smoke: false, list: false };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => cli.smoke = true,
+            "--list-passes" | "--list_passes" => cli.list = true,
             "--pass" => {
                 // Accept underscores as separators too (`--pass
                 // trace_determinism` names the same pass).
                 let name = args.next().ok_or("--pass requires a name")?.replace('_', "-");
-                if !PASS_NAMES.contains(&name.as_str()) {
+                if !pass_names().contains(&name.as_str()) {
                     return Err(format!(
                         "unknown pass `{name}`; available: {}",
-                        PASS_NAMES.join(", ")
+                        pass_names().join(", ")
                     ));
                 }
                 cli.passes.push(name);
@@ -168,8 +181,8 @@ fn parse_args() -> Result<Cli, String> {
             }
             "--help" | "-h" => {
                 return Err(format!(
-                    "usage: verify_all [--pass <name>]... [--budget <n>] [--smoke]\npasses: {}",
-                    PASS_NAMES.join(", ")
+                    "usage: verify_all [--pass <name>]... [--budget <n>] [--smoke] [--list-passes]\npasses: {}",
+                    pass_names().join(", ")
                 ));
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
@@ -186,10 +199,17 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if cli.list {
+        let width = PASSES.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, desc) in PASSES {
+            println!("{name:width$}  {desc}");
+        }
+        return;
+    }
     let selected: Vec<&str> = if cli.passes.is_empty() {
-        PASS_NAMES.to_vec()
+        pass_names()
     } else {
-        PASS_NAMES.iter().copied().filter(|n| cli.passes.iter().any(|p| p == n)).collect()
+        pass_names().into_iter().filter(|n| cli.passes.iter().any(|p| p == n)).collect()
     };
     let mut failures = 0;
     let mut checks = 0;

@@ -276,6 +276,85 @@ mod tests {
     }
 
     #[test]
+    fn empty_queue_edge_operations_are_noops() {
+        let mut q = ImageQueue::new();
+        assert!(q.remove_disk(0).is_empty());
+        assert_eq!(q.blocks_on_disk(0), 0);
+        assert!(q.drain_overflow(0).is_empty());
+        q.reassign_client(0, |_| unreachable!("nothing to reroute"));
+        assert!(q.is_empty());
+        assert!(q.drain_all().is_empty());
+    }
+
+    #[test]
+    fn removing_the_last_groups_only_disk_leaves_no_stranded_group() {
+        let mut q = ImageQueue::new();
+        q.push(img(0, 0, 2, 10), Some((5, 3)));
+        q.push(img(0, 1, 2, 11), Some((5, 3)));
+        assert_eq!(q.blocks_on_disk(2), 2);
+        let removed = q.remove_disk(2);
+        assert_eq!(removed.len(), 2);
+        assert!(q.is_empty(), "emptied group must be deleted, not left as a husk");
+        assert_eq!(q.blocks_on_disk(2), 0);
+        // The group must refill from scratch: two pushes stay buffered,
+        // the third completes it again.
+        assert!(q.push(img(0, 0, 3, 10), Some((5, 3))).is_empty());
+        assert!(q.push(img(0, 1, 3, 11), Some((5, 3))).is_empty());
+        assert_eq!(q.push(img(0, 2, 3, 12), Some((5, 3))).len(), 3);
+    }
+
+    #[test]
+    fn blocks_on_disk_matches_what_remove_disk_drains() {
+        let mut q = ImageQueue::new();
+        for lb in 0..6u64 {
+            q.push(img(0, lb, (lb % 3) as usize, lb), Some((lb, 8)));
+        }
+        for disk in 0..4usize {
+            let predicted = q.blocks_on_disk(disk);
+            assert_eq!(q.remove_disk(disk).len(), predicted, "disk {disk}");
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn reassign_chains_across_successive_crashes() {
+        // Node 2 crashes and its entries re-home to node 3; then node 3
+        // crashes (now partitioned too) and the same entries must
+        // re-home again — no entry may stay owned by a dead node.
+        let mut q = ImageQueue::new();
+        q.push(img(2, 0, 5, 0), Some((0, 8)));
+        q.push(img(2, 1, 6, 0), Some((1, 8)));
+        q.reassign_client(2, |_| 3);
+        q.reassign_client(3, |_| 1);
+        let all = q.drain_all();
+        assert!(all.iter().all(|p| p.client == 1), "{all:?}");
+    }
+
+    #[test]
+    fn remove_disk_then_overflow_keeps_backlog_accounting_consistent() {
+        // The max_image_backlog interaction: a disk drain mid-stream must
+        // leave `len` exact, so a following overflow shed stops at the
+        // bound instead of over- or under-shedding.
+        let mut q = ImageQueue::new();
+        for g in 0..4u64 {
+            for b in 0..3u64 {
+                q.push(img(0, g * 10 + b, b as usize, g * 10 + b), Some((g, 8)));
+            }
+        }
+        assert_eq!(q.len(), 12);
+        let dropped = q.remove_disk(1); // one block per group
+        assert_eq!(dropped.len(), 4);
+        assert_eq!(q.len(), 8);
+        let shed = q.drain_overflow(5);
+        // Whole groups shed lowest-key first, 2 blocks each now: groups
+        // 0 and 1 go, leaving 4 ≤ 5.
+        assert_eq!(shed.len(), 4);
+        assert_eq!(q.len(), 4);
+        assert!(shed.iter().all(|p| p.addr.disk != 1), "drained disk resurfaced in overflow");
+        assert_eq!(q.drain_all().len(), 4);
+    }
+
+    #[test]
     fn len_tracks_push_and_drain() {
         let mut q = ImageQueue::new();
         for lb in 0..5u64 {

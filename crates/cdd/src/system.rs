@@ -27,7 +27,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use cluster::{xor_into, Cluster, ClusterConfig, DataPlane};
 use raidx_core::{Arch, FaultSet, Layout, ReadSource};
 use sim_core::plan::{delay, par, seq};
-use sim_core::{Engine, Plan};
+use sim_core::trace::{AccessKind, TracePoint, Tracer};
+use sim_core::{hb, Engine, Plan, SimTime};
 use sim_net::PartitionMap;
 
 use crate::config::CddConfig;
@@ -79,6 +80,16 @@ pub struct IoSystem {
     timeouts: u64,
     /// Requests that failed over to a replica after a timeout.
     failovers: u64,
+    /// Optional observer of protocol-level [`TracePoint::Access`] events
+    /// (lock grants/releases, SIOS reads/writes, OSM image surrenders).
+    /// `None` keeps every emission site a single branch — the same
+    /// zero-cost-when-disabled guarantee the engine's tracer gives.
+    tracer: Option<Box<dyn Tracer>>,
+    /// Synthetic protocol clock: one tick per traced operation. Access
+    /// events are stamped with it (not engine time — the functional
+    /// update is logically instantaneous), so every op's accesses share
+    /// a timestamp distinct from every other op's.
+    trace_ticks: u64,
 }
 
 impl IoSystem {
@@ -122,6 +133,47 @@ impl IoSystem {
             op_seq: 0,
             timeouts: 0,
             failovers: 0,
+            tracer: None,
+            trace_ticks: 0,
+        }
+    }
+
+    /// Install a [`Tracer`] observing protocol-level cell accesses from
+    /// now on (replacing any previous one). Install a clone of the same
+    /// [`sim_core::EventLog`] here and in the engine to get one merged
+    /// stream for the happens-before analyzer ([`sim_core::hb`]).
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Remove and return the installed tracer, restoring no-op tracing.
+    pub fn clear_tracer(&mut self) -> Option<Box<dyn Tracer>> {
+        self.tracer.take()
+    }
+
+    /// Allocate the next protocol-clock tick (tracing enabled only).
+    fn next_op_tick(&mut self) -> SimTime {
+        let t = self.trace_ticks;
+        self.trace_ticks += 1;
+        SimTime(t)
+    }
+
+    /// Emit one `Access` trace point if a tracer is installed.
+    fn trace_access(&mut self, at: SimTime, actor: u32, cell: u64, len: u64, kind: AccessKind) {
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.record(at, TracePoint::Access { task: actor, cell, len, kind });
+        }
+    }
+
+    /// Emit image-surrender writes for blocks that left the OSM queue
+    /// outside any client op (flush points, disk drains).
+    fn trace_image_drain(&mut self, lbs: &[u64]) {
+        if self.tracer.is_none() || lbs.is_empty() {
+            return;
+        }
+        let at = self.next_op_tick();
+        for &lb in lbs {
+            self.trace_access(at, hb::OSM_ACTOR, hb::image_cell(lb), 1, AccessKind::Write);
         }
     }
 
@@ -323,8 +375,25 @@ impl IoSystem {
         // the duration of the (logically instantaneous) functional update.
         let lock = self.locks.acquire(client, lb0, nblocks).map_err(IoError::Lock)?;
         self.sample_locks();
-        let result = self.write_locked(client, &eff, lb0, nblocks, data);
+        // Protocol trace: the whole op shares one synthetic tick, in
+        // program order grant → write → surrenders → release.
+        let tick = if self.tracer.is_some() { Some(self.next_op_tick()) } else { None };
+        let actor = hb::client_actor(client);
+        if let Some(at) = tick {
+            self.trace_access(at, actor, hb::sios_cell(lb0), nblocks, AccessKind::Acquire);
+        }
+        let mut surrendered = if tick.is_some() { Some(Vec::new()) } else { None };
+        let result = self.write_locked(client, &eff, lb0, nblocks, data, surrendered.as_mut());
         self.locks.release(lock);
+        if let Some(at) = tick {
+            if result.is_ok() {
+                self.trace_access(at, actor, hb::sios_cell(lb0), nblocks, AccessKind::Write);
+                for lb in surrendered.as_deref().unwrap_or(&[]) {
+                    self.trace_access(at, actor, hb::image_cell(*lb), 1, AccessKind::Write);
+                }
+            }
+            self.trace_access(at, actor, hb::sios_cell(lb0), nblocks, AccessKind::Release);
+        }
         let body = match result {
             Ok(body) => body,
             Err(IoError::DataLoss { lb }) => return Err(self.classify_loss(client, lb)),
@@ -357,6 +426,7 @@ impl IoSystem {
         lb0: u64,
         nblocks: u64,
         data: &[u8],
+        surrendered: Option<&mut Vec<u64>>,
     ) -> Result<Plan, IoError> {
         let driver = scheme::driver_for(self.layout.write_scheme());
         let mut ctx = WriteCtx {
@@ -367,6 +437,7 @@ impl IoSystem {
             cfg: &self.cfg,
             images: &mut self.images,
             parked: &mut self.parked,
+            surrendered,
         };
         driver.write(&mut ctx, client, lb0, nblocks, data)
     }
@@ -421,6 +492,10 @@ impl IoSystem {
         let all = self.images.drain_all();
         if all.is_empty() {
             return Plan::Noop;
+        }
+        if self.tracer.is_some() {
+            let lbs: Vec<u64> = all.iter().map(|p| p.lb).collect();
+            self.trace_image_drain(&lbs);
         }
         let ops = self.ops();
         par(ImageQueue::flush_plans(&ops, all))
@@ -539,6 +614,18 @@ impl IoSystem {
             chain.push(delay(self.cfg.request_timeout));
         }
         chain.push(par(branches));
+        if self.tracer.is_some() {
+            // Reads are lock-free by design; the trace point lets the
+            // analyzer's (off-by-default) read/write auditor see them.
+            let at = self.next_op_tick();
+            self.trace_access(
+                at,
+                hb::client_actor(client),
+                hb::sios_cell(lb0),
+                nblocks,
+                AccessKind::Read,
+            );
+        }
         Ok((out, seq(chain)))
     }
 
@@ -556,7 +643,12 @@ impl IoSystem {
         self.faults.insert(disk);
         self.offline.remove(disk);
         self.plane.fail(disk);
-        for img in self.images.remove_disk(disk) {
+        let drained = self.images.remove_disk(disk);
+        if self.tracer.is_some() {
+            let lbs: Vec<u64> = drained.iter().map(|p| p.lb).collect();
+            self.trace_image_drain(&lbs);
+        }
+        for img in drained {
             self.park(disk, img.lb);
         }
     }
@@ -571,7 +663,12 @@ impl IoSystem {
         assert!(!self.faults.contains(disk), "disk already permanently failed");
         self.offline.insert(disk);
         self.plane.set_offline(disk, true);
-        for img in self.images.remove_disk(disk) {
+        let drained = self.images.remove_disk(disk);
+        if self.tracer.is_some() {
+            let lbs: Vec<u64> = drained.iter().map(|p| p.lb).collect();
+            self.trace_image_drain(&lbs);
+        }
+        for img in drained {
             self.park(disk, img.lb);
         }
     }

@@ -469,7 +469,12 @@ impl Engine {
                         if let Some(tr) = self.tracer.as_mut() {
                             tr.record(
                                 self.now,
-                                TracePoint::BarrierOpened { barrier: id, cycle, released },
+                                TracePoint::BarrierOpened {
+                                    barrier: id,
+                                    task: tid,
+                                    cycle,
+                                    released,
+                                },
                             );
                         }
                         // current task falls through the barrier

@@ -183,7 +183,7 @@ pub fn chrome_trace_json(events: &[TimedEvent], res_names: &[String]) -> String 
                     );
                 }
             }
-            TraceEvent::BarrierOpened { barrier, cycle, released } => {
+            TraceEvent::BarrierOpened { barrier, cycle, released, .. } => {
                 push(
                     format!(
                         "{{\"ph\":\"i\",\"pid\":0,\"ts\":{},\"s\":\"p\",\

@@ -1,0 +1,1067 @@
+//! Happens-before analysis over trace event streams: a FastTrack-style
+//! vector-clock race detector plus a same-timestamp commutativity
+//! auditor.
+//!
+//! The DPOR model checker ([`crate::explore`]) proves ordering
+//! properties exhaustively, but only on tiny scenarios. This module
+//! scales with the workload instead: it consumes the deterministic
+//! [`TimedEvent`] stream of a *full-size* run and checks two classes of
+//! property on it.
+//!
+//! **Happens-before edges** are derived from the lifecycle events the
+//! engine already emits plus the protocol-level [`TraceEvent::Access`]
+//! points emitted by instrumented subsystems (the CDD lock/write path,
+//! the OSM image queue):
+//!
+//! | edge | source events |
+//! |------|---------------|
+//! | program order | consecutive events of one actor |
+//! | fork | `TaskSpawned { parent: Some(p) }`: p → child |
+//! | join | `TaskFinished`: child → parent |
+//! | barrier | `BarrierWaited`/`BarrierOpened`: all participants join |
+//! | lock | `Access::Release(cells)` → later `Access::Acquire(cells)` |
+//!
+//! Deliberately **not** edges: resource service chains
+//! (`ServiceFinished` → next `ServiceStarted`). Those order events under
+//! the *current* scheduler, not by synchronization — treating them as
+//! edges would mask exactly the races an engine rewrite (ROADMAP item 1,
+//! the indexed event queue) could expose.
+//!
+//! **Detector classes** (reported as [`HbViolation`]s):
+//!
+//! * `WriteWrite`/`ReadWrite` — conflicting accesses to an SIOS cell
+//!   unordered by happens-before (a protocol data race). Read/write
+//!   conflicts are off by default ([`HbOptions::flag_read_write`])
+//!   because CDD reads are deliberately lock-free — read/write ordering
+//!   is the linearizability pass's property, not a race.
+//! * `UncoveredWrite` — a protocol actor's SIOS write not covered by a
+//!   live lock-group grant (the single-I/O-space discipline).
+//! * `SameTickAccess`/`SameTickService` — two same-timestamp events with
+//!   overlapping footprints, unordered by happens-before: a
+//!   commutativity violation that would make a batched/indexed event
+//!   queue order-sensitive.
+//!
+//! Image-queue cells ([`image_cell`]) are excluded from the race and
+//! coverage detectors by design: cross-client surrender order is
+//! legitimately unordered (the queue itself serializes), so only the
+//! same-tick auditor watches them.
+//!
+//! Actors are `u32` ids in two namespaces that cannot collide: engine
+//! task indices (slot reuse is handled by treating every `TaskSpawned`
+//! as a fresh actor instance) and protocol actors with
+//! [`PROTOCOL_ACTOR_BASE`] set ([`client_actor`], [`OSM_ACTOR`]).
+//! Cells are `u64` ids namespaced in the top byte ([`sios_cell`],
+//! [`image_cell`]).
+//!
+//! The analyzer is *total*: it accepts arbitrary sub-streams (unknown
+//! parents become roots, releases without grants are ignored), which is
+//! what makes ddmin shrinking ([`shrink_window`]) sound.
+
+use std::collections::BTreeMap;
+
+use crate::time::SimTime;
+use crate::trace::{AccessKind, DemandKind, TimedEvent, TraceEvent};
+
+/// Top-byte shift of the cell-id namespace tag.
+const NS_SHIFT: u32 = 56;
+/// Cell namespace of SIOS logical blocks (race + coverage checked).
+pub const SIOS_NS: u8 = 0;
+/// Cell namespace of OSM image-queue surrenders (same-tick checked only).
+pub const IMAGE_NS: u8 = 1;
+
+/// A namespaced cell id.
+pub fn cell(ns: u8, index: u64) -> u64 {
+    debug_assert!(index < 1 << NS_SHIFT, "cell index overflows namespace");
+    (u64::from(ns) << NS_SHIFT) | index
+}
+
+/// The cell of SIOS logical block `lb`.
+pub fn sios_cell(lb: u64) -> u64 {
+    cell(SIOS_NS, lb)
+}
+
+/// The cell of an OSM image-queue surrender of logical block `lb`.
+pub fn image_cell(lb: u64) -> u64 {
+    cell(IMAGE_NS, lb)
+}
+
+/// Namespace tag of a cell id.
+pub fn cell_ns(c: u64) -> u8 {
+    (c >> NS_SHIFT) as u8
+}
+
+/// Index of a cell id within its namespace.
+pub fn cell_index(c: u64) -> u64 {
+    c & ((1 << NS_SHIFT) - 1)
+}
+
+/// Bit marking protocol actors (client modules, the OSM drain path) —
+/// engine task indices never reach it.
+pub const PROTOCOL_ACTOR_BASE: u32 = 0x8000_0000;
+
+/// The protocol actor id of client node `client`.
+pub fn client_actor(client: usize) -> u32 {
+    PROTOCOL_ACTOR_BASE | u32::try_from(client).expect("client id overflows actor namespace")
+}
+
+/// The protocol actor performing OSM image drains not attributable to a
+/// client op (flush points, disk-failure drains).
+pub const OSM_ACTOR: u32 = u32::MAX;
+
+/// Human-readable form of an actor id.
+pub fn actor_label(a: u32) -> String {
+    if a == OSM_ACTOR {
+        "osm".to_string()
+    } else if a & PROTOCOL_ACTOR_BASE != 0 {
+        format!("client{}", a & !PROTOCOL_ACTOR_BASE)
+    } else {
+        format!("task{a}")
+    }
+}
+
+/// Human-readable form of a cell id.
+pub fn cell_label(c: u64) -> String {
+    match cell_ns(c) {
+        SIOS_NS => format!("sios:{}", cell_index(c)),
+        IMAGE_NS => format!("img:{}", cell_index(c)),
+        ns => format!("ns{ns}:{}", cell_index(c)),
+    }
+}
+
+/// A dense vector clock. Indices are analyzer-internal actor slots.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct VectorClock(Vec<u64>);
+
+impl VectorClock {
+    fn get(&self, i: usize) -> u64 {
+        self.0.get(i).copied().unwrap_or(0)
+    }
+
+    fn tick(&mut self, i: usize) {
+        if self.0.len() <= i {
+            self.0.resize(i + 1, 0);
+        }
+        self.0[i] += 1;
+    }
+
+    fn join(&mut self, other: &VectorClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// True when epoch `(actor, counter)` happened before this clock.
+    fn covers(&self, actor: usize, counter: u64) -> bool {
+        self.get(actor) >= counter
+    }
+}
+
+/// The detector class a violation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ViolationKind {
+    /// Two writes to one cell unordered by happens-before.
+    WriteWrite,
+    /// A read and a write to one cell unordered by happens-before.
+    ReadWrite,
+    /// A protocol SIOS write not covered by a live lock-group grant.
+    UncoveredWrite,
+    /// Two same-timestamp accesses with overlapping cells, unordered.
+    SameTickAccess,
+    /// Two same-timestamp disk services on one resource.
+    SameTickService,
+}
+
+impl ViolationKind {
+    /// Short stable label, used in renderings and fingerprints.
+    pub fn label(self) -> &'static str {
+        match self {
+            ViolationKind::WriteWrite => "write-write race",
+            ViolationKind::ReadWrite => "read-write race",
+            ViolationKind::UncoveredWrite => "uncovered write",
+            ViolationKind::SameTickAccess => "same-tick access overlap",
+            ViolationKind::SameTickService => "same-tick service overlap",
+        }
+    }
+}
+
+/// One finding of the happens-before analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HbViolation {
+    /// Detector class.
+    pub kind: ViolationKind,
+    /// Representative conflicting cell (for `SameTickService`, the
+    /// resource index).
+    pub cell: u64,
+    /// Raw actor ids of the (earlier, later) conflicting events; equal
+    /// for `UncoveredWrite`.
+    pub actors: (u32, u32),
+    /// Indices of the (earlier, later) conflicting events in the
+    /// analyzed stream; equal for `UncoveredWrite`.
+    pub events: (usize, usize),
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl HbViolation {
+    /// Stream-position-independent identity of the finding: the class,
+    /// the cell and the actors involved. Shrinking preserves this key
+    /// while event indices change.
+    pub fn key(&self) -> (ViolationKind, u64, u32, u32) {
+        (self.kind, self.cell, self.actors.0, self.actors.1)
+    }
+}
+
+impl std::fmt::Display for HbViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let place = if self.kind == ViolationKind::SameTickService {
+            format!("resource {}", self.cell)
+        } else {
+            cell_label(self.cell)
+        };
+        write!(
+            f,
+            "{} on {} between {} (event {}) and {} (event {}): {}",
+            self.kind.label(),
+            place,
+            actor_label(self.actors.0),
+            self.events.0,
+            actor_label(self.actors.1),
+            self.events.1,
+            self.detail
+        )
+    }
+}
+
+/// Analyzer policy knobs.
+#[derive(Debug, Clone)]
+pub struct HbOptions {
+    /// Also flag read/write conflicts unordered by happens-before.
+    /// Default `false`: CDD reads are deliberately lock-free, and
+    /// read/write ordering is the linearizability pass's property.
+    pub flag_read_write: bool,
+    /// Require every protocol SIOS write to be covered by a live
+    /// lock-group grant (default `true`).
+    pub require_lock_coverage: bool,
+    /// Process at most this many events (budget cap for smoke runs);
+    /// [`HbAnalysis::truncated`] reports whether the cap was hit.
+    pub max_events: usize,
+    /// Stop recording after this many violations (analysis continues).
+    pub max_violations: usize,
+    /// Only check cells whose in-namespace index is below this bound
+    /// (`u64::MAX` = all cells). Smoke runs bound the cell subset so the
+    /// per-cell state stays small on huge traces.
+    pub cell_limit: u64,
+}
+
+impl Default for HbOptions {
+    fn default() -> Self {
+        HbOptions {
+            flag_read_write: false,
+            require_lock_coverage: true,
+            max_events: usize::MAX,
+            max_violations: 64,
+            cell_limit: u64::MAX,
+        }
+    }
+}
+
+/// What one [`analyze`] run saw.
+#[derive(Debug, Clone)]
+pub struct HbAnalysis {
+    /// Findings, in stream order (capped at
+    /// [`HbOptions::max_violations`]).
+    pub violations: Vec<HbViolation>,
+    /// Events processed.
+    pub events: usize,
+    /// `Access` events processed.
+    pub accesses: usize,
+    /// Actor instances observed (task instances + protocol actors).
+    pub actors: usize,
+    /// Synchronization edges constructed (fork/join/barrier/lock).
+    pub sync_edges: usize,
+    /// True when [`HbOptions::max_events`] cut the analysis short.
+    pub truncated: bool,
+}
+
+impl HbAnalysis {
+    /// True when no detector fired.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// FNV-1a fingerprint of the findings and counters — two analyses
+    /// of identical streams must agree bit-for-bit (the detector's own
+    /// determinism is audited by the `race-detect` verify pass).
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for v in &self.violations {
+            eat(v.to_string().as_bytes());
+            eat(b"\n");
+        }
+        for n in [self.events as u64, self.accesses as u64, self.actors as u64] {
+            eat(&n.to_le_bytes());
+        }
+        h
+    }
+}
+
+/// FastTrack-style per-cell state: the last write epoch plus the set of
+/// reads since (one epoch per reading actor slot).
+#[derive(Debug, Default)]
+struct CellState {
+    /// `(actor slot, counter, event index)` of the last write.
+    last_write: Option<(usize, u64, usize)>,
+    /// Reads since the last write: actor slot → `(counter, event index)`.
+    reads: BTreeMap<usize, (u64, usize)>,
+}
+
+struct ActorState {
+    /// Raw actor id as it appeared in the stream.
+    id: u32,
+    clock: VectorClock,
+    /// Parent actor slot (for the join edge at `TaskFinished`).
+    parent: Option<usize>,
+    /// Live lock-group grants: `(first cell, len)`.
+    held: Vec<(u64, u64)>,
+}
+
+/// One same-tick footprint already seen at the current timestamp.
+struct TickAccess {
+    slot: usize,
+    cell: u64,
+    len: u64,
+    write: bool,
+    event: usize,
+    /// The actor's clock counter at the access (its epoch).
+    counter: u64,
+}
+
+struct TickService {
+    slot: usize,
+    res: u32,
+    write: bool,
+    event: usize,
+}
+
+/// Per-access cell iteration cap: protocol accesses are stripe-sized;
+/// anything larger is a malformed event, not a workload.
+const MAX_ACCESS_CELLS: u64 = 4096;
+
+struct Analyzer {
+    opts: HbOptions,
+    actors: Vec<ActorState>,
+    /// Live engine-task instances: raw task id → actor slot.
+    live_tasks: BTreeMap<u32, usize>,
+    /// Persistent protocol actors: raw id → actor slot.
+    protocol: BTreeMap<u32, usize>,
+    /// Parked barrier waiters: barrier id → actor slots.
+    barrier_waiters: BTreeMap<u32, Vec<usize>>,
+    /// Per-cell race state.
+    cells: BTreeMap<u64, CellState>,
+    /// Per-cell join of clocks at lock release (the lock edge source).
+    release_clocks: BTreeMap<u64, VectorClock>,
+    /// Same-tick footprints at `tick_at`.
+    tick_at: SimTime,
+    tick_accesses: Vec<TickAccess>,
+    tick_services: Vec<TickService>,
+    out: HbAnalysis,
+}
+
+impl Analyzer {
+    fn new(opts: HbOptions) -> Self {
+        Analyzer {
+            opts,
+            actors: Vec::new(),
+            live_tasks: BTreeMap::new(),
+            protocol: BTreeMap::new(),
+            barrier_waiters: BTreeMap::new(),
+            cells: BTreeMap::new(),
+            release_clocks: BTreeMap::new(),
+            tick_at: SimTime::ZERO,
+            tick_accesses: Vec::new(),
+            tick_services: Vec::new(),
+            out: HbAnalysis {
+                violations: Vec::new(),
+                events: 0,
+                accesses: 0,
+                actors: 0,
+                sync_edges: 0,
+                truncated: false,
+            },
+        }
+    }
+
+    fn report(&mut self, v: HbViolation) {
+        if self.out.violations.len() < self.opts.max_violations {
+            self.out.violations.push(v);
+        }
+    }
+
+    fn new_actor(&mut self, id: u32, parent: Option<usize>) -> usize {
+        let slot = self.actors.len();
+        let mut clock = match parent {
+            Some(p) => self.actors[p].clock.clone(),
+            None => VectorClock::default(),
+        };
+        clock.tick(slot);
+        self.actors.push(ActorState { id, clock, parent, held: Vec::new() });
+        self.out.actors += 1;
+        slot
+    }
+
+    /// The actor slot an `Access` event's raw id resolves to: a live
+    /// engine task instance if one matches, else a persistent protocol
+    /// actor (created on first sight — roots with no fork edge).
+    fn resolve_actor(&mut self, id: u32) -> usize {
+        if let Some(&slot) = self.live_tasks.get(&id) {
+            return slot;
+        }
+        if let Some(&slot) = self.protocol.get(&id) {
+            return slot;
+        }
+        let slot = self.new_actor(id, None);
+        self.protocol.insert(id, slot);
+        slot
+    }
+
+    /// Truncate an access range to the checkable cell subset.
+    fn checked_len(&self, first: u64, len: u64) -> u64 {
+        let len = len.min(MAX_ACCESS_CELLS);
+        let idx = cell_index(first);
+        if idx >= self.opts.cell_limit {
+            return 0;
+        }
+        len.min(self.opts.cell_limit - idx)
+    }
+
+    fn flip_tick(&mut self, at: SimTime) {
+        if at != self.tick_at {
+            self.tick_at = at;
+            self.tick_accesses.clear();
+            self.tick_services.clear();
+        }
+    }
+
+    fn on_task_spawned(&mut self, task: u32, parent: Option<u32>) {
+        let parent_slot = parent.and_then(|p| self.live_tasks.get(&p).copied());
+        if let Some(p) = parent_slot {
+            // Fork edge: parent's knowledge flows into the child.
+            self.actors[p].clock.tick(p);
+            self.out.sync_edges += 1;
+        }
+        let slot = self.new_actor(task, parent_slot);
+        self.live_tasks.insert(task, slot);
+    }
+
+    fn on_task_finished(&mut self, task: u32) {
+        let Some(slot) = self.live_tasks.remove(&task) else { return };
+        if let Some(p) = self.actors[slot].parent {
+            // Join edge: the child's final clock flows into the parent.
+            let child_clock = self.actors[slot].clock.clone();
+            self.actors[p].clock.join(&child_clock);
+            self.actors[p].clock.tick(p);
+            self.out.sync_edges += 1;
+        }
+    }
+
+    fn on_barrier_waited(&mut self, barrier: u32, task: u32) {
+        if let Some(&slot) = self.live_tasks.get(&task) {
+            self.barrier_waiters.entry(barrier).or_default().push(slot);
+        }
+    }
+
+    fn on_barrier_opened(&mut self, barrier: u32, task: u32) {
+        let mut participants = self.barrier_waiters.remove(&barrier).unwrap_or_default();
+        if let Some(&slot) = self.live_tasks.get(&task) {
+            participants.push(slot);
+        }
+        if participants.len() < 2 {
+            return;
+        }
+        let mut joined = VectorClock::default();
+        for &p in &participants {
+            joined.join(&self.actors[p].clock);
+        }
+        for &p in &participants {
+            self.actors[p].clock = joined.clone();
+            self.actors[p].clock.tick(p);
+            self.out.sync_edges += 1;
+        }
+    }
+
+    fn on_service_started(
+        &mut self,
+        at: SimTime,
+        res: u32,
+        task: u32,
+        kind: DemandKind,
+        ev: usize,
+    ) {
+        self.flip_tick(at);
+        let write = kind == DemandKind::DiskWrite;
+        if !matches!(kind, DemandKind::DiskRead | DemandKind::DiskWrite) {
+            return;
+        }
+        let slot = self.live_tasks.get(&task).copied();
+        for prev in &self.tick_services {
+            if prev.res == res && Some(prev.slot) != slot && (prev.write || write) {
+                let v = HbViolation {
+                    kind: ViolationKind::SameTickService,
+                    cell: u64::from(res),
+                    actors: (self.actors[prev.slot].id, task),
+                    events: (prev.event, ev),
+                    detail: format!(
+                        "two disk services started on resource {res} at {at} — the engine's \
+                         same-instant dispatch on one resource is order-sensitive"
+                    ),
+                };
+                self.report(v);
+                break;
+            }
+        }
+        if let Some(slot) = slot {
+            self.tick_services.push(TickService { slot, res, write, event: ev });
+        }
+    }
+
+    fn on_access(
+        &mut self,
+        at: SimTime,
+        task: u32,
+        first: u64,
+        len: u64,
+        kind: AccessKind,
+        ev: usize,
+    ) {
+        self.flip_tick(at);
+        self.out.accesses += 1;
+        let slot = self.resolve_actor(task);
+        match kind {
+            AccessKind::Acquire => {
+                let n = len.min(MAX_ACCESS_CELLS);
+                let mut edged = false;
+                for i in 0..n {
+                    if let Some(rc) = self.release_clocks.get(&(first + i)) {
+                        self.actors[slot].clock.join(rc);
+                        edged = true;
+                    }
+                }
+                if edged {
+                    self.out.sync_edges += 1;
+                }
+                self.actors[slot].held.push((first, len));
+                self.actors[slot].clock.tick(slot);
+            }
+            AccessKind::Release => {
+                let n = len.min(MAX_ACCESS_CELLS);
+                let clock = self.actors[slot].clock.clone();
+                for i in 0..n {
+                    self.release_clocks
+                        .entry(first + i)
+                        .and_modify(|rc| rc.join(&clock))
+                        .or_insert_with(|| clock.clone());
+                }
+                let held = &mut self.actors[slot].held;
+                if let Some(pos) = held.iter().position(|&(c, l)| c == first && l == len) {
+                    held.swap_remove(pos);
+                }
+                self.actors[slot].clock.tick(slot);
+            }
+            AccessKind::Read => {
+                let n = self.checked_len(first, len);
+                for i in 0..n {
+                    let c = first + i;
+                    if cell_ns(c) != SIOS_NS {
+                        continue;
+                    }
+                    self.check_read(slot, c, ev);
+                }
+                self.record_tick_access(slot, first, len, false, ev);
+                self.actors[slot].clock.tick(slot);
+            }
+            AccessKind::Write => {
+                let n = self.checked_len(first, len);
+                let mut uncovered: Option<u64> = None;
+                for i in 0..n {
+                    let c = first + i;
+                    if cell_ns(c) != SIOS_NS {
+                        continue;
+                    }
+                    self.check_write(slot, c, ev);
+                    if self.opts.require_lock_coverage
+                        && self.actors[slot].id & PROTOCOL_ACTOR_BASE != 0
+                        && self.actors[slot].id != OSM_ACTOR
+                        && uncovered.is_none()
+                        && !self.actors[slot].held.iter().any(|&(h0, hl)| c >= h0 && c < h0 + hl)
+                    {
+                        uncovered = Some(c);
+                    }
+                }
+                if let Some(c) = uncovered {
+                    let id = self.actors[slot].id;
+                    let v = HbViolation {
+                        kind: ViolationKind::UncoveredWrite,
+                        cell: c,
+                        actors: (id, id),
+                        events: (ev, ev),
+                        detail: "SIOS write outside any live lock-group grant — the \
+                                 consistency module's covered-write discipline is broken"
+                            .to_string(),
+                    };
+                    self.report(v);
+                }
+                self.record_tick_access(slot, first, len, true, ev);
+                self.actors[slot].clock.tick(slot);
+            }
+        }
+    }
+
+    fn check_read(&mut self, slot: usize, c: u64, ev: usize) {
+        let mut found: Option<HbViolation> = None;
+        if self.opts.flag_read_write {
+            if let Some(state) = self.cells.get(&c) {
+                if let Some((ws, wc, wev)) = state.last_write {
+                    if ws != slot && !self.actors[slot].clock.covers(ws, wc) {
+                        found = Some(HbViolation {
+                            kind: ViolationKind::ReadWrite,
+                            cell: c,
+                            actors: (self.actors[ws].id, self.actors[slot].id),
+                            events: (wev, ev),
+                            detail: "read unordered with a prior write to the same cell"
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        let counter = self.actors[slot].clock.get(slot);
+        self.cells.entry(c).or_default().reads.insert(slot, (counter, ev));
+        if let Some(v) = found {
+            self.report(v);
+        }
+    }
+
+    fn check_write(&mut self, slot: usize, c: u64, ev: usize) {
+        let my_id = self.actors[slot].id;
+        let mut found: Vec<HbViolation> = Vec::new();
+        if let Some(state) = self.cells.get(&c) {
+            let clock = &self.actors[slot].clock;
+            if let Some((ws, wc, wev)) = state.last_write {
+                if ws != slot && !clock.covers(ws, wc) {
+                    found.push(HbViolation {
+                        kind: ViolationKind::WriteWrite,
+                        cell: c,
+                        actors: (self.actors[ws].id, my_id),
+                        events: (wev, ev),
+                        detail: "two writes to the same cell unordered by \
+                                 fork/join/barrier/lock edges"
+                            .to_string(),
+                    });
+                }
+            }
+            if self.opts.flag_read_write {
+                for (&rs, &(rc, rev)) in &state.reads {
+                    if rs != slot && !clock.covers(rs, rc) {
+                        found.push(HbViolation {
+                            kind: ViolationKind::ReadWrite,
+                            cell: c,
+                            actors: (self.actors[rs].id, my_id),
+                            events: (rev, ev),
+                            detail: "write unordered with a prior read of the same cell"
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        let epoch = self.actors[slot].clock.get(slot);
+        let state = self.cells.entry(c).or_default();
+        state.last_write = Some((slot, epoch, ev));
+        state.reads.clear();
+        for v in found {
+            self.report(v);
+        }
+    }
+
+    fn record_tick_access(&mut self, slot: usize, first: u64, len: u64, write: bool, ev: usize) {
+        // Commutativity: two same-timestamp accesses with overlapping
+        // footprints (≥ one write) from different actors, unordered by
+        // happens-before, cannot be dispatched in arbitrary order.
+        let my_counter = self.actors[slot].clock.get(slot);
+        let my_clock = &self.actors[slot].clock;
+        let mut hit: Option<HbViolation> = None;
+        for prev in &self.tick_accesses {
+            let overlap = first < prev.cell + prev.len && prev.cell < first + len;
+            if prev.slot != slot
+                && overlap
+                && (prev.write || write)
+                && !my_clock.covers(prev.slot, prev.counter)
+            {
+                hit = Some(HbViolation {
+                    kind: ViolationKind::SameTickAccess,
+                    cell: first.max(prev.cell),
+                    actors: (self.actors[prev.slot].id, self.actors[slot].id),
+                    events: (prev.event, ev),
+                    detail: format!(
+                        "overlapping cell footprints touched at the same timestamp {} \
+                         with no ordering edge — same-instant dispatch would be \
+                         nondeterministic",
+                        self.tick_at
+                    ),
+                });
+                break;
+            }
+        }
+        if let Some(v) = hit {
+            self.report(v);
+        }
+        self.tick_accesses.push(TickAccess {
+            slot,
+            cell: first,
+            len,
+            write,
+            event: ev,
+            counter: my_counter,
+        });
+    }
+
+    fn run(mut self, events: &[TimedEvent]) -> HbAnalysis {
+        for (i, te) in events.iter().enumerate() {
+            if i >= self.opts.max_events {
+                self.out.truncated = true;
+                break;
+            }
+            self.out.events += 1;
+            match te.event {
+                TraceEvent::TaskSpawned { task, parent, .. } => self.on_task_spawned(task, parent),
+                TraceEvent::TaskFinished { task, .. } => self.on_task_finished(task),
+                TraceEvent::BarrierWaited { barrier, task } => {
+                    self.on_barrier_waited(barrier, task)
+                }
+                TraceEvent::BarrierOpened { barrier, task, .. } => {
+                    self.on_barrier_opened(barrier, task)
+                }
+                TraceEvent::ServiceStarted { res, task, kind, .. } => {
+                    self.on_service_started(te.at, res, task, kind, i)
+                }
+                TraceEvent::Access { task, cell, len, kind } => {
+                    self.on_access(te.at, task, cell, len, kind, i)
+                }
+                TraceEvent::JobSpawned { .. }
+                | TraceEvent::JobFinished { .. }
+                | TraceEvent::Enqueued { .. }
+                | TraceEvent::ServiceFinished { .. } => {}
+            }
+        }
+        self.out
+    }
+}
+
+/// Run the happens-before analysis over an event stream.
+pub fn analyze(events: &[TimedEvent], opts: &HbOptions) -> HbAnalysis {
+    Analyzer::new(opts.clone()).run(events)
+}
+
+/// ddmin-style 1-minimal shrinking of the trace window around a finding:
+/// repeatedly drop chunks of the stream while re-analysis still yields a
+/// violation with the same [`HbViolation::key`]. The analyzer's
+/// robustness on arbitrary sub-streams is what makes this sound.
+pub fn shrink_window(
+    events: &[TimedEvent],
+    key: (ViolationKind, u64, u32, u32),
+    opts: &HbOptions,
+) -> Vec<TimedEvent> {
+    let still_fails = |candidate: &[TimedEvent]| {
+        analyze(candidate, opts).violations.iter().any(|v| v.key() == key)
+    };
+    let mut current: Vec<TimedEvent> = events.to_vec();
+    if !still_fails(&current) {
+        return current;
+    }
+    let mut n = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            if !candidate.is_empty() && still_fails(&candidate) {
+                current = candidate;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunk <= 1 {
+                break;
+            }
+            n = (n * 2).min(current.len());
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, event: TraceEvent) -> TimedEvent {
+        TimedEvent { at: SimTime(at), event }
+    }
+
+    fn spawned(task: u32, parent: Option<u32>) -> TraceEvent {
+        TraceEvent::TaskSpawned { task, parent, detached: false }
+    }
+
+    fn finished(task: u32) -> TraceEvent {
+        TraceEvent::TaskFinished { task, detached: false }
+    }
+
+    fn access(task: u32, cell: u64, len: u64, kind: AccessKind) -> TraceEvent {
+        TraceEvent::Access { task, cell, len, kind }
+    }
+
+    fn service(res: u32, task: u32, kind: DemandKind) -> TraceEvent {
+        TraceEvent::ServiceStarted {
+            res,
+            task,
+            kind,
+            bytes: 4096,
+            waited_ns: 0,
+            done_at_ns: 1,
+            detached: false,
+        }
+    }
+
+    fn kinds(a: &HbAnalysis) -> Vec<ViolationKind> {
+        a.violations.iter().map(|v| v.kind).collect()
+    }
+
+    #[test]
+    fn fork_join_edges_order_task_accesses() {
+        let events = vec![
+            ev(0, spawned(0, None)),
+            ev(1, access(0, sios_cell(5), 1, AccessKind::Write)),
+            ev(2, spawned(1, Some(0))),
+            ev(3, access(1, sios_cell(5), 1, AccessKind::Write)),
+            ev(4, finished(1)),
+            ev(5, access(0, sios_cell(5), 1, AccessKind::Write)),
+            ev(6, finished(0)),
+        ];
+        let a = analyze(&events, &HbOptions::default());
+        assert!(a.clean(), "fork/join edges must order these writes: {:?}", a.violations);
+        assert_eq!(a.actors, 2);
+        assert!(a.sync_edges >= 2, "fork and join edges expected");
+    }
+
+    #[test]
+    fn unrelated_tasks_writing_one_cell_race() {
+        let events = vec![
+            ev(0, spawned(0, None)),
+            ev(0, spawned(1, None)),
+            ev(1, access(0, sios_cell(9), 1, AccessKind::Write)),
+            ev(2, access(1, sios_cell(9), 1, AccessKind::Write)),
+        ];
+        let a = analyze(&events, &HbOptions::default());
+        assert_eq!(kinds(&a), vec![ViolationKind::WriteWrite]);
+        assert_eq!(a.violations[0].cell, sios_cell(9));
+    }
+
+    #[test]
+    fn barrier_orders_and_skipping_it_races() {
+        let barrier = |extra: bool| {
+            let mut events = vec![
+                ev(0, spawned(0, None)),
+                ev(0, spawned(1, None)),
+                ev(1, access(0, sios_cell(3), 2, AccessKind::Write)),
+            ];
+            if extra {
+                events.push(ev(2, TraceEvent::BarrierWaited { barrier: 7, task: 0 }));
+                events.push(ev(
+                    3,
+                    TraceEvent::BarrierOpened { barrier: 7, task: 1, cycle: 1, released: 2 },
+                ));
+            }
+            events.push(ev(4, access(1, sios_cell(4), 1, AccessKind::Write)));
+            events
+        };
+        let clean = analyze(&barrier(true), &HbOptions::default());
+        assert!(clean.clean(), "barrier must order the writes: {:?}", clean.violations);
+        let raced = analyze(&barrier(false), &HbOptions::default());
+        assert_eq!(kinds(&raced), vec![ViolationKind::WriteWrite]);
+    }
+
+    /// Two protocol clients writing an overlapping range, each under a
+    /// lock-group grant: the release→acquire edge orders them. Dropping
+    /// the first client's grant breaks both detectors at once.
+    fn locked_protocol_stream(drop_first_grant: bool) -> Vec<TimedEvent> {
+        let (c0, c1) = (client_actor(0), client_actor(1));
+        let mut events = Vec::new();
+        if !drop_first_grant {
+            events.push(ev(10, access(c0, sios_cell(0), 4, AccessKind::Acquire)));
+        }
+        events.push(ev(10, access(c0, sios_cell(0), 4, AccessKind::Write)));
+        if !drop_first_grant {
+            events.push(ev(10, access(c0, sios_cell(0), 4, AccessKind::Release)));
+        }
+        events.push(ev(11, access(c1, sios_cell(2), 4, AccessKind::Acquire)));
+        events.push(ev(11, access(c1, sios_cell(2), 4, AccessKind::Write)));
+        events.push(ev(11, access(c1, sios_cell(2), 4, AccessKind::Release)));
+        events
+    }
+
+    #[test]
+    fn lock_edges_order_clients_and_dropped_grant_is_caught() {
+        let clean = analyze(&locked_protocol_stream(false), &HbOptions::default());
+        assert!(clean.clean(), "lock edges must order the clients: {:?}", clean.violations);
+        let raced = analyze(&locked_protocol_stream(true), &HbOptions::default());
+        let ks = kinds(&raced);
+        assert!(
+            ks.contains(&ViolationKind::UncoveredWrite),
+            "missing grant must surface as an uncovered write: {ks:?}"
+        );
+        assert!(
+            ks.contains(&ViolationKind::WriteWrite),
+            "missing release edge must surface as a write-write race: {ks:?}"
+        );
+    }
+
+    #[test]
+    fn image_cells_are_exempt_from_race_and_coverage() {
+        let (c0, c1) = (client_actor(0), client_actor(1));
+        let events = vec![
+            ev(0, access(c0, image_cell(7), 1, AccessKind::Write)),
+            ev(1, access(c1, image_cell(7), 1, AccessKind::Write)),
+        ];
+        let a = analyze(&events, &HbOptions::default());
+        assert!(a.clean(), "image surrender order is legitimately unordered: {:?}", a.violations);
+    }
+
+    #[test]
+    fn same_tick_overlapping_accesses_flagged() {
+        let events = vec![
+            ev(5, access(client_actor(0), sios_cell(0), 4, AccessKind::Write)),
+            ev(5, access(client_actor(1), sios_cell(3), 2, AccessKind::Write)),
+        ];
+        let opts = HbOptions { require_lock_coverage: false, ..HbOptions::default() };
+        let a = analyze(&events, &opts);
+        assert!(kinds(&a).contains(&ViolationKind::SameTickAccess), "{:?}", kinds(&a));
+        // Disjoint footprints at one tick commute: no finding.
+        let disjoint = vec![
+            ev(5, access(client_actor(0), sios_cell(0), 2, AccessKind::Write)),
+            ev(5, access(client_actor(1), sios_cell(8), 2, AccessKind::Write)),
+        ];
+        let b = analyze(&disjoint, &opts);
+        assert!(!kinds(&b).contains(&ViolationKind::SameTickAccess));
+    }
+
+    #[test]
+    fn same_tick_disk_services_on_one_resource_flagged() {
+        let events = vec![
+            ev(0, spawned(0, None)),
+            ev(0, spawned(1, None)),
+            ev(9, service(3, 0, DemandKind::DiskWrite)),
+            ev(9, service(3, 1, DemandKind::DiskWrite)),
+        ];
+        let a = analyze(&events, &HbOptions::default());
+        assert_eq!(kinds(&a), vec![ViolationKind::SameTickService]);
+        // Different resources at one tick are fine.
+        let ok = vec![
+            ev(0, spawned(0, None)),
+            ev(0, spawned(1, None)),
+            ev(9, service(3, 0, DemandKind::DiskWrite)),
+            ev(9, service(4, 1, DemandKind::DiskWrite)),
+        ];
+        assert!(analyze(&ok, &HbOptions::default()).clean());
+    }
+
+    #[test]
+    fn task_slot_reuse_spawns_fresh_actor_instances() {
+        let events = vec![
+            ev(0, spawned(0, None)),
+            ev(1, access(0, sios_cell(1), 1, AccessKind::Write)),
+            ev(2, finished(0)),
+            ev(3, spawned(0, None)), // engine free-list reuses slot 0
+            ev(4, access(0, sios_cell(1), 1, AccessKind::Write)),
+        ];
+        let a = analyze(&events, &HbOptions::default());
+        assert_eq!(a.actors, 2, "slot reuse must not merge instances");
+        assert_eq!(kinds(&a), vec![ViolationKind::WriteWrite], "instances are unordered");
+    }
+
+    #[test]
+    fn shrink_window_reduces_and_preserves_the_finding() {
+        // Pad the dropped-grant defect with unrelated locked traffic.
+        let mut events = Vec::new();
+        for i in 0..20u64 {
+            let c = client_actor(3);
+            events.push(ev(100 + i, access(c, sios_cell(100 + i), 1, AccessKind::Acquire)));
+            events.push(ev(100 + i, access(c, sios_cell(100 + i), 1, AccessKind::Write)));
+            events.push(ev(100 + i, access(c, sios_cell(100 + i), 1, AccessKind::Release)));
+        }
+        events.extend(locked_protocol_stream(true));
+        let opts = HbOptions::default();
+        let a = analyze(&events, &opts);
+        let race = a
+            .violations
+            .iter()
+            .find(|v| v.kind == ViolationKind::WriteWrite)
+            .expect("planted race");
+        let window = shrink_window(&events, race.key(), &opts);
+        assert!(window.len() < events.len(), "window must shrink");
+        assert!(window.len() >= 2, "a race needs both accesses");
+        let again = analyze(&window, &opts);
+        assert!(
+            again.violations.iter().any(|v| v.key() == race.key()),
+            "shrunk window must still exhibit the finding"
+        );
+    }
+
+    #[test]
+    fn analysis_fingerprint_is_deterministic_and_sensitive() {
+        let events = locked_protocol_stream(true);
+        let a = analyze(&events, &HbOptions::default());
+        let b = analyze(&events, &HbOptions::default());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let clean = analyze(&locked_protocol_stream(false), &HbOptions::default());
+        assert_ne!(a.fingerprint(), clean.fingerprint());
+    }
+
+    #[test]
+    fn max_events_budget_truncates() {
+        let events = locked_protocol_stream(false);
+        let opts = HbOptions { max_events: 2, ..HbOptions::default() };
+        let a = analyze(&events, &opts);
+        assert!(a.truncated);
+        assert_eq!(a.events, 2);
+    }
+
+    #[test]
+    fn cell_namespacing_round_trips() {
+        let c = image_cell(0xABCD);
+        assert_eq!(cell_ns(c), IMAGE_NS);
+        assert_eq!(cell_index(c), 0xABCD);
+        assert_eq!(cell_ns(sios_cell(7)), SIOS_NS);
+        assert_eq!(actor_label(client_actor(2)), "client2");
+        assert_eq!(actor_label(OSM_ACTOR), "osm");
+        assert_eq!(actor_label(17), "task17");
+    }
+}

@@ -43,6 +43,7 @@ pub mod engine;
 pub mod explore;
 pub mod export;
 pub mod fault;
+pub mod hb;
 pub mod metrics;
 pub mod plan;
 pub mod resource;
@@ -56,10 +57,13 @@ pub use engine::{DeadlockError, Engine, JobId, JobRecord, RunReport, TaskId};
 pub use explore::{Exploration, Explorer, Failure, FailureKind, Footprint, Model, ThreadId};
 pub use export::{chrome_trace_json, json_is_valid, metrics_csv, metrics_json, utilization_csv};
 pub use fault::{FaultPlan, FaultTrigger, ScheduledFault};
+pub use hb::{HbAnalysis, HbOptions, HbViolation, ViolationKind};
 pub use metrics::{Histogram, MetricsRegistry, TimeSeries};
 pub use plan::{BarrierId, Plan};
 pub use resource::{FixedRate, ResourceId, ResourceStats, ServiceModel};
 pub use rng::SplitMix64;
 pub use time::{SimDuration, SimTime};
-pub use trace::{DemandKind, EventLog, NoopTracer, TimedEvent, TraceEvent, TracePoint, Tracer};
+pub use trace::{
+    AccessKind, DemandKind, EventLog, NoopTracer, TimedEvent, TraceEvent, TracePoint, Tracer,
+};
 pub use validate::{PlanContext, PlanError, Strictness};

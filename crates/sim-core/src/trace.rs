@@ -71,6 +71,36 @@ impl From<&Demand> for DemandKind {
     }
 }
 
+/// What an [`TracePoint::Access`] trace point did to its cell range.
+///
+/// `Acquire`/`Release` are synchronization accesses (lock-group grant
+/// and surrender); `Read`/`Write` are data accesses. The
+/// happens-before analyzer ([`crate::hb`]) derives lock edges from the
+/// former and checks the latter for races and lock coverage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AccessKind {
+    /// A data read of the cell range.
+    Read,
+    /// A data write of the cell range.
+    Write,
+    /// A lock-group grant covering the cell range.
+    Acquire,
+    /// A lock-group release of the cell range.
+    Release,
+}
+
+impl AccessKind {
+    /// Short stable label, used by exporters and fingerprints.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::Acquire => "acquire",
+            AccessKind::Release => "release",
+        }
+    }
+}
+
 /// One engine event as seen by a [`Tracer`], borrowing engine state.
 ///
 /// The lifetime keeps the hot path allocation-free: a tracer that wants
@@ -158,10 +188,31 @@ pub enum TracePoint<'a> {
     BarrierOpened {
         /// The barrier.
         barrier: BarrierId,
+        /// The arriving task that filled the barrier (it falls through
+        /// without parking; the waiters were announced by
+        /// [`TracePoint::BarrierWaited`]).
+        task: TaskId,
         /// Completed cycle count after this opening.
         cycle: u64,
         /// Tasks released (waiters plus the arriving task).
         released: usize,
+    },
+    /// A protocol-level cell access — emitted outside the engine by
+    /// instrumented subsystems (the CDD lock/write path, the OSM image
+    /// queue) through a shared tracer, and consumed by the
+    /// happens-before analyzer ([`crate::hb`]). `task` is an *actor*
+    /// id in the analyzer's namespace (an engine task index or a
+    /// protocol actor such as a client node); `cell` is a namespaced
+    /// cell id covering `len` consecutive cells.
+    Access {
+        /// Acting thread of control (engine task index or protocol actor).
+        task: u32,
+        /// First cell touched (namespaced; see `sim_core::hb` helpers).
+        cell: u64,
+        /// Number of consecutive cells touched.
+        len: u64,
+        /// What the access did.
+        kind: AccessKind,
     },
 }
 
@@ -271,10 +322,23 @@ pub enum TraceEvent {
     BarrierOpened {
         /// The barrier id.
         barrier: u32,
+        /// The arriving task that filled the barrier.
+        task: u32,
         /// Completed cycle count after this opening.
         cycle: u64,
         /// Tasks released.
         released: usize,
+    },
+    /// See [`TracePoint::Access`].
+    Access {
+        /// Acting thread of control (engine task index or protocol actor).
+        task: u32,
+        /// First cell touched (namespaced; see `sim_core::hb` helpers).
+        cell: u64,
+        /// Number of consecutive cells touched.
+        len: u64,
+        /// What the access did.
+        kind: AccessKind,
     },
 }
 
@@ -325,8 +389,16 @@ impl TraceEvent {
             TracePoint::BarrierWaited { barrier, task } => {
                 TraceEvent::BarrierWaited { barrier: barrier.0, task: task.index() as u32 }
             }
-            TracePoint::BarrierOpened { barrier, cycle, released } => {
-                TraceEvent::BarrierOpened { barrier: barrier.0, cycle, released }
+            TracePoint::BarrierOpened { barrier, task, cycle, released } => {
+                TraceEvent::BarrierOpened {
+                    barrier: barrier.0,
+                    task: task.index() as u32,
+                    cycle,
+                    released,
+                }
+            }
+            TracePoint::Access { task, cell, len, kind } => {
+                TraceEvent::Access { task, cell, len, kind }
             }
         }
     }

@@ -1,7 +1,7 @@
 #![warn(missing_docs)]
 //! # raidx-verify — static analysis and invariant verification
 //!
-//! Nine offline passes that check the reproduction's correctness
+//! Ten offline passes that check the reproduction's correctness
 //! properties *before and between* simulations, independently of the unit
 //! tests:
 //!
@@ -45,10 +45,19 @@
 //!    resynced, rebuilds complete, scrub clean) and that every faulted
 //!    scenario replays fingerprint-identically from the same seed and
 //!    [`sim_core::FaultPlan`].
+//! 10. [`race_detect`] — feeds the merged engine + protocol trace of a
+//!     seeded scripted workload to the FastTrack-style vector-clock
+//!     happens-before analyzer ([`sim_core::hb`]): conflicting cell
+//!     accesses unordered by fork/join/barrier/lock edges, protocol
+//!     writes outside any lock-group grant, and same-timestamp events
+//!     with overlapping footprints (commutativity violations). Planted
+//!     defects (a dropped grant, a skipped barrier, twinned same-tick
+//!     disk services) prove each detector class catches real bugs, with
+//!     ddmin-shrunk counterexample windows.
 //!
 //! Every pass is a library API first; `cargo run -p bench --bin
-//! verify_all` drives all nine (filterable with `--pass <name>`) and
-//! exits non-zero on any finding.
+//! verify_all` drives all ten (filterable with `--pass <name>`, listable
+//! with `--list-passes`) and exits non-zero on any finding.
 
 pub mod crash_consistency;
 pub mod determinism;
@@ -58,6 +67,7 @@ pub mod linearizability;
 pub mod lock_order;
 pub mod model_check;
 pub mod plan_lint;
+pub mod race_detect;
 pub mod report;
 pub mod source_scan;
 pub mod trace_determinism;

@@ -12,6 +12,13 @@
 //!   randomized per process, so draining one into events, plans or error
 //!   lists silently breaks replay.
 //!
+//! The scanner is **token-aware**: each line is split by a small lexer
+//! into its code part (string and char literals blanked, block comments
+//! dropped) and its `//` line-comment part before any pattern matching.
+//! Hazard patterns only ever match real code — `.elapsed(` inside a
+//! comment or a format string is not a finding — and acknowledgements
+//! only ever live in line comments.
+//!
 //! A flagged line can be acknowledged with a `// det-ok:` comment on the
 //! line or the line above it (e.g. an error-path diagnostic where order
 //! is cosmetic); the scanner reports but does not count acknowledged
@@ -138,25 +145,159 @@ fn iterates(line: &str, ident: &str) -> bool {
 // tables above.
 const ACK_MARKER: &str = concat!("det", "-ok");
 
+/// Multi-line lexer state carried across lines of one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LexState {
+    Code,
+    /// Inside `/* … */`, with nesting depth.
+    BlockComment(u32),
+    /// Inside a normal `"…"` string literal.
+    Str,
+    /// Inside a raw string literal closed by `"` + this many `#`s.
+    RawStr(u8),
+}
+
+/// One source line, split into what the compiler would see as code and
+/// what it would see as a `//` line comment.
+struct SplitLine {
+    /// Code with string/char literal contents blanked and comments
+    /// removed.
+    code: String,
+    /// Body of a trailing `//` line comment, if any.
+    comment: Option<String>,
+    /// The line comment was a doc comment (`///` or `//!`).
+    doc: bool,
+}
+
+/// Split one line, advancing the cross-line state.
+fn split_line(state: &mut LexState, line: &str) -> SplitLine {
+    let b = line.as_bytes();
+    let mut out = SplitLine { code: String::new(), comment: None, doc: false };
+    let mut i = 0;
+    while i < b.len() {
+        match *state {
+            LexState::BlockComment(depth) => {
+                if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    *state =
+                        if depth > 1 { LexState::BlockComment(depth - 1) } else { LexState::Code };
+                    i += 2;
+                } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    *state = LexState::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            LexState::Str => {
+                if b[i] == b'\\' {
+                    i += 2; // skip the escaped char (or trailing continuation)
+                } else if b[i] == b'"' {
+                    *state = LexState::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            LexState::RawStr(hashes) => {
+                let close = b[i] == b'"'
+                    && b[i + 1..].iter().take(hashes as usize).filter(|&&c| c == b'#').count()
+                        == hashes as usize;
+                if close {
+                    *state = LexState::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+            LexState::Code => {
+                let prev_ident = i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_');
+                match b[i] {
+                    b'/' if b.get(i + 1) == Some(&b'/') => {
+                        out.doc = matches!(b.get(i + 2), Some(&b'/') | Some(&b'!'));
+                        out.comment = Some(line[i + 2..].to_string());
+                        return out;
+                    }
+                    b'/' if b.get(i + 1) == Some(&b'*') => {
+                        *state = LexState::BlockComment(1);
+                        i += 2;
+                    }
+                    b'"' => {
+                        *state = LexState::Str;
+                        i += 1;
+                    }
+                    b'r' | b'b' if !prev_ident => {
+                        // Possible raw string: `r"…"`, `r#"…"#`, `br#"…"#`.
+                        let mut j = i + 1;
+                        if b[i] == b'b' && b.get(j) == Some(&b'r') {
+                            j += 1;
+                        }
+                        let mut hashes = 0u8;
+                        while b.get(j + hashes as usize) == Some(&b'#') {
+                            hashes += 1;
+                        }
+                        if b.get(j + hashes as usize) == Some(&b'"') && (b[i] == b'r' || j > i + 1)
+                        {
+                            *state = LexState::RawStr(hashes);
+                            i = j + hashes as usize + 1;
+                        } else {
+                            out.code.push(b[i] as char);
+                            i += 1;
+                        }
+                    }
+                    b'\'' if !prev_ident => {
+                        // Char literal vs lifetime: a literal closes with
+                        // `'` after one (possibly escaped) char.
+                        let lit_end = if b.get(i + 1) == Some(&b'\\') {
+                            // escaped char literals: '\n', '\'', '\x7f', '\u{…}'
+                            b[i + 2..].iter().position(|&c| c == b'\'').map(|p| i + 3 + p)
+                        } else if b.get(i + 2) == Some(&b'\'') {
+                            Some(i + 3)
+                        } else {
+                            None
+                        };
+                        match lit_end {
+                            Some(end) => i = end, // blank the literal
+                            None => {
+                                out.code.push('\''); // lifetime marker
+                                i += 1;
+                            }
+                        }
+                    }
+                    c => {
+                        out.code.push(c as char);
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Scan one file's text. `label` is used in the reported hazards.
 pub fn scan_source_text(label: &str, text: &str) -> Vec<Hazard> {
-    // Non-test prefix of the file (test modules sit at the bottom).
-    let lines: Vec<&str> =
-        text.lines().take_while(|l| !l.contains("#[cfg(test)]")).map(str::trim).collect();
+    // Lex the whole file (the lexer state spans lines), then keep the
+    // non-test prefix (test modules sit at the bottom).
+    let raw: Vec<&str> = text.lines().map(str::trim).collect();
+    let mut lex = LexState::Code;
+    let split: Vec<SplitLine> = raw
+        .iter()
+        .map(|l| split_line(&mut lex, l))
+        .take_while(|s| !s.code.contains("#[cfg(test)]"))
+        .collect();
     let mut tracked: Vec<String> = Vec::new();
     let mut found: Vec<(usize, Hazard)> = Vec::new();
     // has_hazard[i]: line i contains a hazard, acknowledged or not —
     // what decides whether a nearby acknowledgement is live or stale.
-    let mut has_hazard = vec![false; lines.len()];
+    let mut has_hazard = vec![false; split.len()];
     let mut acks: Vec<usize> = Vec::new();
-    for (i, &line) in lines.iter().enumerate() {
-        let is_doc = line.starts_with("//!") || line.starts_with("///");
-        if line.contains(ACK_MARKER) && !is_doc {
-            acks.push(i);
+    for (i, s) in split.iter().enumerate() {
+        if let Some(comment) = &s.comment {
+            if !s.doc && comment.contains(ACK_MARKER) {
+                acks.push(i);
+            }
         }
-        if line.starts_with("//") {
-            continue;
-        }
+        let line = s.code.as_str();
         if let Some(ident) = declared_ident(line) {
             if !tracked.contains(&ident) {
                 tracked.push(ident);
@@ -171,7 +312,7 @@ pub fn scan_source_text(label: &str, text: &str) -> Vec<Hazard> {
                         file: label.to_string(),
                         line: i + 1,
                         what: format!("forbidden call {pat}"),
-                        snippet: line.to_string(),
+                        snippet: raw[i].to_string(),
                     },
                 ));
             }
@@ -185,7 +326,7 @@ pub fn scan_source_text(label: &str, text: &str) -> Vec<Hazard> {
                         file: label.to_string(),
                         line: i + 1,
                         what: format!("unordered iteration of `{ident}`"),
-                        snippet: line.to_string(),
+                        snippet: raw[i].to_string(),
                     },
                 ));
             }
@@ -204,7 +345,7 @@ pub fn scan_source_text(label: &str, text: &str) -> Vec<Hazard> {
                     file: label.to_string(),
                     line: a + 1,
                     what: format!("stale {ACK_MARKER} acknowledgement (no hazard in scope)"),
-                    snippet: lines[a].to_string(),
+                    snippet: raw[a].to_string(),
                 },
             ));
         }
@@ -376,6 +517,85 @@ m.insert(1, 2);
     fn test_modules_skipped() {
         let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn t() { Instant::now(); }\n}\n";
         assert!(scan_source_text("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hazard_mentions_in_comments_are_not_findings() {
+        // The token-aware scanner must not flag pattern text that only
+        // appears in comments — the false-positive class the line-based
+        // scanner suffered from.
+        let src = "\
+// the stopwatch .elapsed( reading happens in the driver, not here
+fn f() {
+    /* Instant::now is forbidden in sim paths */
+    let x = compute();
+}
+";
+        assert!(scan_source_text("x.rs", src).is_empty(), "{:?}", scan_source_text("x.rs", src));
+    }
+
+    #[test]
+    fn hazard_text_in_string_literals_is_not_a_finding() {
+        let src = "\
+fn f() {
+    let msg = \"call Instant::now() to observe .elapsed( drift\";
+    let raw = r#\"SystemTime in a raw \"string\" too\"#;
+    emit(msg, raw);
+}
+";
+        assert!(scan_source_text("x.rs", src).is_empty(), "{:?}", scan_source_text("x.rs", src));
+    }
+
+    #[test]
+    fn multiline_strings_and_block_comments_stay_blanked() {
+        let src = "\
+fn f() {
+    let m = \"first line
+        second line with Instant::now()
+        third\";
+    /* a block comment
+       mentioning thread_rng across
+       lines */
+    let h: HashMap<u32, u32> = HashMap::new();
+    for v in h.values() { show(v); }
+}
+";
+        let h = scan_source_text("x.rs", src);
+        assert_eq!(h.len(), 1, "{h:?}");
+        assert!(h[0].what.contains("`h`"), "{h:?}");
+    }
+
+    #[test]
+    fn trailing_comment_hazard_is_ignored_but_code_still_scans() {
+        let src = "let t = Instant::now(); // not .elapsed( — the call left of us is the hazard\n";
+        let h = scan_source_text("x.rs", src);
+        assert_eq!(h.len(), 1, "{h:?}");
+        assert!(h[0].what.contains(concat!("Instant", "::now")), "{h:?}");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_lex_through() {
+        // A `'"'` char literal must not open a string; lifetimes must
+        // not derail the lexer from later real hazards.
+        let src = "\
+fn f<'a>(x: &'a str) {
+    let q = '\"';
+    let e = '\\'';
+    let t = Instant::now();
+    keep(x, q, e, t);
+}
+";
+        let h = scan_source_text("x.rs", src);
+        assert_eq!(h.len(), 1, "{h:?}");
+        assert_eq!(h[0].line, 4);
+    }
+
+    #[test]
+    fn ack_inside_string_literal_does_not_acknowledge() {
+        let src = "let s = \"// det-ok: just text\";\nlet t = Instant::now();\n";
+        let h = scan_source_text("x.rs", src);
+        assert_eq!(h.len(), 1, "{h:?}");
+        assert!(h[0].what.contains("forbidden call"), "{h:?}");
     }
 
     /// The real tree must be hazard-free (with its `det-ok`

@@ -16,7 +16,12 @@ cargo test --workspace -q
 echo "==> trace_dump --smoke (trace/metrics export self-check)"
 cargo run --release -p bench --bin trace_dump -- --smoke
 
-echo "==> verify_all (plan lint, lock order, layout, determinism, model check, linearizability, crash consistency, trace determinism, fault sweep)"
+echo "==> race-detect --smoke (happens-before race + commutativity audit)"
+# Dedicated stage so a race regression names itself in the CI log
+# instead of hiding inside the combined verify_all run below.
+cargo run --release -p bench --bin verify_all -- --pass race-detect --smoke
+
+echo "==> verify_all (plan lint, lock order, layout, determinism, model check, linearizability, crash consistency, trace determinism, fault sweep, race detect)"
 # --budget bounds schedules explored per model-checking scenario and
 # --smoke shrinks the fault-injection sweep to its CI subset, so the
 # gate stays fast even as scenarios grow.
