@@ -1,0 +1,243 @@
+//! Rule family 2 — trace-point / fault-trigger conformance.
+//!
+//! `sim_core::fault::FaultPlan` fires named triggers when the workload
+//! announces a trace point via `hit_point`. A trigger whose point name
+//! is never announced anywhere in the workspace can never fire — the
+//! fault plan silently does nothing, and the test it backs silently
+//! stops testing. This rule collects, across the whole file set:
+//!
+//! * **triggers** — first arguments of non-test `.at_point(…)` calls
+//!   and `point:` fields of `FaultTrigger::AtPoint { … }` constructions;
+//! * **announcements** — first arguments of `.hit_point(…)` calls
+//!   (tests included: a test announcing a point makes it real).
+//!
+//! Names are resolved from string literals, `format!` calls (matched by
+//! the literal prefix before the first `{` placeholder), and `let`
+//! bindings to either of those within the same file. A trigger that
+//! resolves to a name (or prefix) with no overlapping announcement is a
+//! finding; arguments that cannot be resolved statically (plain
+//! variables from function parameters) are skipped.
+
+use crate::lexer::{TokKind, Token};
+use crate::{Finding, ParsedFile};
+
+/// Stable rule id for this family.
+pub const RULE: &str = "fault-trigger";
+
+/// A point name resolved from a call argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Name {
+    /// A full literal name.
+    Exact(String),
+    /// A `format!` name matched by its literal prefix.
+    Prefix(String),
+}
+
+/// Token range of the first argument of the call whose `(` is at `open`
+/// (exclusive of the comma/closing paren).
+fn first_arg(toks: &[Token], open: usize) -> (usize, usize) {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return (open + 1, j);
+            }
+        } else if depth == 1 && t.is_punct(',') {
+            return (open + 1, j);
+        }
+        j += 1;
+    }
+    (open + 1, j)
+}
+
+/// Resolve an argument token range to a point name, chasing one level
+/// of `let` binding backward through the same file's tokens.
+fn resolve(toks: &[Token], arg: (usize, usize), depth: u32) -> Option<Name> {
+    let slice = &toks[arg.0..arg.1];
+    if let Some(pos) = slice.iter().position(|t| t.kind == TokKind::Str) {
+        let content = slice[pos].text.clone();
+        let fmt = slice[..pos].iter().any(|t| t.is_ident("format"));
+        return Some(if fmt {
+            Name::Prefix(content.split('{').next().unwrap_or("").to_string())
+        } else {
+            Name::Exact(content)
+        });
+    }
+    if depth == 0 {
+        return None;
+    }
+    // Bare identifier (skipping `&`, `mut`, trailing `.clone()` etc.):
+    // chase `let <ident> = …;` backward in this file.
+    let ident = slice.iter().find(|t| t.kind == TokKind::Ident && !t.is_ident("mut"))?;
+    let name = ident.text.as_str();
+    for k in (0..arg.0).rev() {
+        if toks[k].is_ident("let")
+            && toks.get(k + 1).is_some_and(|t| t.is_ident(name) || t.is_ident("mut"))
+        {
+            // `let name = …;` or `let mut name = …;`
+            let at = if toks[k + 1].is_ident("mut") { k + 2 } else { k + 1 };
+            if !toks.get(at).is_some_and(|t| t.is_ident(name)) {
+                continue;
+            }
+            let mut end = at;
+            while end < arg.0 && !toks[end].is_punct(';') {
+                end += 1;
+            }
+            return resolve(toks, (at + 1, end), depth - 1);
+        }
+    }
+    None
+}
+
+/// A resolved trigger site.
+struct Trigger {
+    file: String,
+    line: usize,
+    name: Name,
+}
+
+fn collect(files: &[ParsedFile]) -> (Vec<Trigger>, Vec<Name>) {
+    let mut triggers = Vec::new();
+    let mut announces = Vec::new();
+    for pf in files {
+        let toks = &pf.lex.tokens;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let after_dot = i > 0 && toks[i - 1].is_punct('.');
+            let open_paren = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+            if t.text == "hit_point" && after_dot && open_paren {
+                if let Some(name) = resolve(toks, first_arg(toks, i + 1), 1) {
+                    announces.push(name);
+                }
+            } else if t.text == "at_point" && after_dot && open_paren && !pf.in_test(t.line) {
+                if let Some(name) = resolve(toks, first_arg(toks, i + 1), 1) {
+                    triggers.push(Trigger { file: pf.path.clone(), line: t.line, name });
+                }
+            } else if t.text == "AtPoint"
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('{'))
+                && !pf.in_test(t.line)
+            {
+                // `FaultTrigger::AtPoint { point: …, hit: … }` literal.
+                let (b, e) = first_arg(toks, i + 1); // first field range
+                let range = if toks[b..e].iter().any(|x| x.is_ident("point")) {
+                    Some((b, e))
+                } else {
+                    // `point` may be the second field.
+                    let (b2, e2) = first_arg(toks, e);
+                    toks[b2..e2].iter().any(|x| x.is_ident("point")).then_some((b2, e2))
+                };
+                if let Some(r) = range {
+                    if let Some(name) = resolve(toks, r, 1) {
+                        triggers.push(Trigger { file: pf.path.clone(), line: t.line, name });
+                    }
+                }
+            }
+        }
+    }
+    (triggers, announces)
+}
+
+fn announced(trigger: &Name, announces: &[Name]) -> bool {
+    announces.iter().any(|a| match (trigger, a) {
+        (Name::Exact(t), Name::Exact(e)) => t == e,
+        (Name::Exact(t), Name::Prefix(p)) => t.starts_with(p.as_str()),
+        (Name::Prefix(tp), Name::Exact(e)) => e.starts_with(tp.as_str()),
+        (Name::Prefix(tp), Name::Prefix(p)) => {
+            p.starts_with(tp.as_str()) || tp.starts_with(p.as_str())
+        }
+    })
+}
+
+/// Check every resolved trigger against the workspace's announcements.
+pub fn scan(files: &[ParsedFile]) -> Vec<Finding> {
+    let (triggers, announces) = collect(files);
+    triggers
+        .into_iter()
+        .filter(|t| !announced(&t.name, &announces))
+        .map(|t| {
+            let shown = match &t.name {
+                Name::Exact(s) => format!("\"{s}\""),
+                Name::Prefix(s) => format!("format!(\"{s}…\")"),
+            };
+            Finding {
+                rule: RULE,
+                file: t.file,
+                line: t.line,
+                message: format!("fault trigger point {shown} is never announced via hit_point"),
+                acknowledged: false,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn parse_all(files: &[(&str, &str)]) -> Vec<ParsedFile> {
+        files.iter().map(|(p, t)| ParsedFile::parse(&SourceFile::new(*p, *t))).collect()
+    }
+
+    #[test]
+    fn ghost_trigger_is_flagged_matching_one_is_not() {
+        let files = parse_all(&[
+            (
+                "verify/src/sweep.rs",
+                "fn f(plan: &mut Plan) {\n    plan.at_point(\"op:3\", 1, fault());\n    \
+                 plan.at_point(\"ghost-point\", 1, fault());\n}\n",
+            ),
+            (
+                "workloads/src/script.rs",
+                "fn run(inj: &mut Inj, i: u32) {\n    inj.hit_point(&format!(\"op:{i}\"));\n}\n",
+            ),
+        ]);
+        let f = scan(&files);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("ghost-point"), "{f:?}");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn let_bound_format_trigger_resolves_cross_statement() {
+        let files = parse_all(&[
+            (
+                "verify/src/sweep.rs",
+                "fn f(plan: &mut Plan, at: u32) {\n    let inject = format!(\"op:{at}\");\n    \
+                 plan.at_point(inject, 1, fault());\n}\n",
+            ),
+            ("workloads/src/script.rs", "fn run(inj: &mut Inj) { inj.hit_point(\"op:7\"); }\n"),
+        ]);
+        assert!(scan(&files).is_empty(), "{:?}", scan(&files));
+    }
+
+    #[test]
+    fn test_scope_triggers_and_atpoint_literals() {
+        let files = parse_all(&[(
+            "sim-core/src/fault.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t(p: &mut Plan) { p.at_point(\"unannounced\", 1, f()); }\n}\n\
+             fn build() -> FaultTrigger {\n    FaultTrigger::AtPoint { point: \"never\".to_string(), hit: 1 }\n}\n",
+        )]);
+        let f = scan(&files);
+        // The test-module trigger is skipped; the AtPoint literal is not.
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("never"), "{f:?}");
+    }
+
+    #[test]
+    fn unresolvable_variable_args_are_skipped() {
+        let files = parse_all(&[(
+            "cdd/src/fault.rs",
+            "fn fwd(plan: &mut Plan, name: &str) { plan.at_point(name, 1, f()); }\n",
+        )]);
+        assert!(scan(&files).is_empty());
+    }
+}

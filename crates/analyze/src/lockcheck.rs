@@ -1,0 +1,180 @@
+//! Rule family 4 — lock-grant discipline in `crates/cdd`.
+//!
+//! The dynamic lock-order pass only sees grant/release imbalance when a
+//! schedule happens to execute the leaky path. This intra-function
+//! check flags the shape statically: any non-test `cdd` function that
+//! calls `.acquire(…)` / `.acquire_unchecked(…)` on a lock table must
+//! either call `.release(…)` / `.try_release(…)` / `.surrender(…)`
+//! somewhere in the same function or hand the grant out (its signature
+//! mentions `LockHandle`). For `let`-bound grants the window between
+//! the acquire statement and the first release is additionally scanned
+//! for early exits (`return` or `?`) that would leak the held grant.
+//! Findings on intentional shapes are acknowledged with
+//! `lint-ok(lock-discipline): reason`.
+
+use crate::lexer::{TokKind, Token};
+use crate::parser::{flatten, ItemKind};
+use crate::{Finding, ParsedFile};
+
+/// Stable rule id for this family.
+pub const RULE: &str = "lock-discipline";
+
+const ACQUIRES: [&str; 2] = ["acquire", "acquire_unchecked"];
+const RELEASES: [&str; 3] = ["release", "try_release", "surrender"];
+
+/// Is `toks[i]` a `.name(` method call for one of `names`?
+fn is_call(toks: &[Token], i: usize, names: &[&str]) -> bool {
+    toks[i].kind == TokKind::Ident
+        && names.iter().any(|n| toks[i].is_ident(n))
+        && i > 0
+        && toks[i - 1].is_punct('.')
+        && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+}
+
+/// Scan one parsed cdd file.
+pub fn scan(pf: &ParsedFile) -> Vec<Finding> {
+    let toks = &pf.lex.tokens;
+    let mut out = Vec::new();
+    for item in flatten(&pf.items) {
+        if item.kind != ItemKind::Fn || item.cfg_test {
+            continue;
+        }
+        let Some((body_start, body_end)) = item.body else { continue };
+        let acquires: Vec<usize> =
+            (body_start..body_end).filter(|&k| is_call(toks, k, &ACQUIRES)).collect();
+        if acquires.is_empty() {
+            continue;
+        }
+        let first_release = (body_start..body_end).find(|&k| is_call(toks, k, &RELEASES));
+        let hands_out =
+            (item.sig.0..item.sig.1).any(|k| toks.get(k).is_some_and(|t| t.is_ident("LockHandle")));
+        if first_release.is_none() {
+            if !hands_out {
+                out.push(Finding {
+                    rule: RULE,
+                    file: pf.path.clone(),
+                    line: toks[acquires[0]].line,
+                    message: format!(
+                        "fn `{}` acquires a lock grant but never releases/surrenders it or \
+                         returns a LockHandle",
+                        item.name
+                    ),
+                    acknowledged: false,
+                });
+            }
+            continue;
+        }
+        // Early-exit window check for let-bound grants: from the end of
+        // the acquire statement to the first release, a `return` or `?`
+        // leaves the function with the grant still held.
+        let release_at = first_release.unwrap_or(body_end);
+        for &acq in &acquires {
+            if acq >= release_at {
+                continue;
+            }
+            let let_bound = (body_start..acq)
+                .rev()
+                .take_while(|&k| !toks[k].is_punct(';'))
+                .any(|k| toks[k].is_ident("let"));
+            if !let_bound {
+                continue;
+            }
+            let mut stmt_end = acq;
+            while stmt_end < release_at && !toks[stmt_end].is_punct(';') {
+                stmt_end += 1;
+            }
+            for k in stmt_end..release_at {
+                let t = &toks[k];
+                if t.is_ident("return") || t.is_punct('?') {
+                    out.push(Finding {
+                        rule: RULE,
+                        file: pf.path.clone(),
+                        line: t.line,
+                        message: format!(
+                            "fn `{}`: early exit between lock acquire (line {}) and release may \
+                             leak the grant",
+                            item.name, toks[acq].line
+                        ),
+                        acknowledged: false,
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn scan_src(src: &str) -> Vec<Finding> {
+        scan(&ParsedFile::parse(&SourceFile::new("cdd/src/x.rs", src)))
+    }
+
+    #[test]
+    fn leak_without_release_is_flagged() {
+        let src = "\
+fn leaky(&mut self) -> Result<(), IoError> {
+    let h = self.locks.acquire(c, lb, n).map_err(IoError::Lock)?;
+    do_work(h.id());
+    Ok(())
+}
+";
+        let f = scan_src(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("never releases"));
+    }
+
+    #[test]
+    fn balanced_and_handle_returning_fns_are_clean() {
+        let src = "\
+fn balanced(&mut self) -> Result<(), IoError> {
+    let h = self.locks.acquire(c, lb, n).map_err(IoError::Lock)?;
+    do_work(h.id());
+    self.locks.release(h);
+    Ok(())
+}
+fn hands_out(&mut self) -> Result<LockHandle, IoError> {
+    self.locks.acquire(c, lb, n).map_err(IoError::Lock)
+}
+";
+        assert!(scan_src(src).is_empty(), "{:?}", scan_src(src));
+    }
+
+    #[test]
+    fn early_return_between_acquire_and_release_is_flagged() {
+        let src = "\
+fn risky(&mut self) -> Result<(), IoError> {
+    let h = self.locks.acquire(c, lb, n).map_err(IoError::Lock)?;
+    self.plan_request(lb, n)?;
+    self.locks.release(h);
+    Ok(())
+}
+";
+        let f = scan_src(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("early exit"), "{f:?}");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn non_let_bound_match_acquire_with_release_is_clean() {
+        // The proto.rs shape: acquire inside a match scrutinee, release
+        // in another arm of the same function.
+        let src = "\
+fn step(&mut self, s: &mut State) {
+    match s.table.acquire(t, start, len) {
+        Ok(h) => s.held.push(h),
+        Err(c) => s.blocked.push(c),
+    }
+    if let Some(h) = s.held.pop() {
+        s.table.try_release(h).ok();
+    }
+}
+";
+        assert!(scan_src(src).is_empty(), "{:?}", scan_src(src));
+    }
+}

@@ -1,0 +1,146 @@
+//! Match-expression extraction over the [`crate::lexer`] token stream.
+//!
+//! Split from [`crate::parser`]: finds every `match` expression and its
+//! arm patterns (pre-guard token ranges), which is all the
+//! wildcard-match rule needs. Scrutinee parsing is safe without type
+//! information because Rust forbids struct literals in scrutinee
+//! position, so the first top-level `{` always opens the arm block.
+
+use crate::lexer::Token;
+use crate::parser::skip_group;
+
+/// One arm of a parsed match expression.
+#[derive(Debug, Clone)]
+pub struct MatchArm {
+    /// Token range of the pattern (before any `if` guard).
+    pub pattern: (usize, usize),
+    /// 1-based line the pattern starts on.
+    pub line: usize,
+}
+
+/// One `match` expression.
+#[derive(Debug, Clone)]
+pub struct MatchExpr {
+    /// 1-based line of the `match` keyword.
+    pub line: usize,
+    /// The arms in source order.
+    pub arms: Vec<MatchArm>,
+}
+
+/// Extract every `match` expression in the token stream. Nested matches
+/// are reported separately (each `match` keyword yields one entry).
+pub fn find_matches(toks: &[Token]) -> Vec<MatchExpr> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("match")
+            && !toks.get(i.wrapping_sub(1)).is_some_and(|p| p.is_punct('.'))
+        {
+            if let Some((expr, _)) = parse_match(toks, i) {
+                out.push(expr);
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parse the match whose keyword is at `toks[i]`.
+fn parse_match(toks: &[Token], i: usize) -> Option<(MatchExpr, usize)> {
+    // Scrutinee: scan to the `{` at depth 0. Struct literals are illegal
+    // in scrutinee position, so the first top-level `{` opens the arms.
+    let mut j = i + 1;
+    while j < toks.len() && !toks[j].is_punct('{') {
+        if toks[j].is_punct('(') || toks[j].is_punct('[') {
+            j = skip_group(toks, j);
+        } else {
+            j += 1;
+        }
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    let close = skip_group(toks, j) - 1; // index of the final `}`
+    let mut arms = Vec::new();
+    let mut k = j + 1;
+    while k < close {
+        // Pattern: up to `=>` at depth 0 (guards included in the scan,
+        // excluded from the recorded range).
+        let pat_start = k;
+        let mut pat_end = k;
+        let mut guard = None;
+        while k < close {
+            let t = &toks[k];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                k = skip_group(toks, k);
+                continue;
+            }
+            if t.is_ident("if") && guard.is_none() {
+                guard = Some(k);
+            }
+            if t.is_punct('=') && toks.get(k + 1).is_some_and(|n| n.is_punct('>')) {
+                pat_end = guard.unwrap_or(k);
+                k += 2;
+                break;
+            }
+            k += 1;
+        }
+        if k >= close && pat_end == pat_start {
+            break; // trailing tokens, no arm
+        }
+        arms.push(MatchArm {
+            pattern: (pat_start, pat_end),
+            line: toks.get(pat_start).map(|t| t.line).unwrap_or(0),
+        });
+        // Body: a block (skip it, plus optional `,`) or an expression up
+        // to the `,` at depth 0 or the match's closing brace.
+        if k < close && toks[k].is_punct('{') {
+            k = skip_group(toks, k);
+            if k < close && toks[k].is_punct(',') {
+                k += 1;
+            }
+        } else {
+            while k < close {
+                let t = &toks[k];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    k = skip_group(toks, k);
+                    continue;
+                }
+                if t.is_punct(',') {
+                    k += 1;
+                    break;
+                }
+                k += 1;
+            }
+        }
+    }
+    Some((MatchExpr { line: toks[i].line, arms }, close + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn match_arms_parse_with_guards_and_nesting() {
+        let src = "\
+fn f(x: E) -> u32 {
+    match x {
+        E::A(v) if v > 3 => v,
+        E::B { n } => match n { 0 => 1, other => other },
+        _ => 0,
+    }
+}
+";
+        let fx = lex(src);
+        let ms = find_matches(&fx.tokens);
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].arms.len(), 3);
+        assert_eq!(ms[1].arms.len(), 2);
+        // Guard excluded from the first arm's pattern range.
+        let (a, b) = ms[0].arms[0].pattern;
+        let pat: Vec<_> = fx.tokens[a..b].iter().map(|t| t.text.as_str()).collect();
+        assert!(!pat.contains(&"if"), "{pat:?}");
+    }
+}

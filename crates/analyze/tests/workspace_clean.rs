@@ -1,0 +1,18 @@
+//! The clean-tree gate: the real workspace must carry zero
+//! unacknowledged findings (the analyzer's own `tests/` dirs are out of
+//! scope by construction).
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_unacknowledged_findings() {
+    let crates = Path::new(env!("CARGO_MANIFEST_DIR")).parent().expect("crates dir");
+    let findings = raidx_analyze::analyze_workspace(crates).expect("scan workspace");
+    let open: Vec<_> = findings.iter().filter(|f| !f.acknowledged).collect();
+    assert!(
+        open.is_empty(),
+        "{} unacknowledged findings:\n{}",
+        open.len(),
+        open.iter().map(|f| f.render()).collect::<Vec<_>>().join("\n")
+    );
+}

@@ -1,7 +1,7 @@
 //! Run the `raidx-verify` passes and exit non-zero on any finding.
 //!
 //! ```text
-//! cargo run -p bench --bin verify_all [-- --pass <name>]... [-- --budget <n>] [-- --smoke] [-- --list-passes]
+//! cargo run -p bench --bin verify_all [-- --pass <name>]... [-- --budget <n>] [-- --smoke] [-- --list-passes] [-- --json <path>]
 //! ```
 //!
 //! Passes: plan linting of every architecture's real I/O plans, lock-order
@@ -12,24 +12,31 @@
 //! crash-consistency audit, the trace-determinism audit (the full
 //! observability event stream must replay byte-identically), the
 //! fault-injection sweep (every enumerated single-fault point recovers
-//! byte-for-byte and replays fingerprint-identically), and the
-//! happens-before race detector over merged engine + protocol traces.
+//! byte-for-byte and replays fingerprint-identically), the happens-before
+//! race detector over merged engine + protocol traces, and the
+//! parser-based whole-workspace static analyzer (`raidx-analyze`: five
+//! rule families with planted-defect canaries).
 //!
-//! `--pass <name>` (repeatable, hyphens and underscores interchangeable)
-//! runs only the named passes; `--budget <n>` bounds the schedules
-//! explored per model-checking scenario (default 100000); `--smoke`
-//! shrinks the fault sweep and race detector to their CI subsets;
-//! `--list-passes` prints the registry (stable order) and exits. Each
-//! pass reports its wall-clock time.
+//! `--pass <name>` (repeatable, hyphens and underscores interchangeable;
+//! `source-scan` is kept as an alias for `static-analysis`, which
+//! subsumed the old pass-4b line scanner) runs only the named passes;
+//! `--budget <n>` bounds the schedules explored per model-checking
+//! scenario (default 100000); `--smoke` shrinks the fault sweep and race
+//! detector to their CI subsets; `--list-passes` prints the registry
+//! (stable order) and exits; `--json <path>` additionally writes every
+//! pass's checks as machine-readable JSON (stable schema: pass, rule,
+//! file, line, message, acknowledged, ok). Each pass reports its
+//! wall-clock time.
 
 use cdd::{CddConfig, IoSystem};
 use cluster::ClusterConfig;
 use raidx_core::Arch;
 use raidx_verify::{analyze_lock_trace, audit_workload, conformance_sweep, lint_io_paths};
 use raidx_verify::{
-    crash_consistency, fault_sweep, linearizability, model_check, race_detect, trace_determinism,
+    crash_consistency, fault_sweep, linearizability, model_check, race_detect, static_analysis,
+    trace_determinism,
 };
-use raidx_verify::{report::PassReport, source_scan};
+use raidx_verify::{report, report::PassReport, source_scan};
 use sim_core::Engine;
 use std::path::Path;
 
@@ -114,7 +121,7 @@ fn determinism_pass() -> PassReport {
 
 /// Registry of every pass with a one-line description, in execution
 /// order (the order `--list-passes` prints and a full run executes).
-const PASSES: [(&str, &str); 10] = [
+const PASSES: [(&str, &str); 11] = [
     ("plan-lint", "reject Plan DAG shapes that would panic or deadlock the event loop"),
     ("lock-order", "replay recorded lock-group traces for double grants, leaks and order cycles"),
     ("layout-conformance", "exhaustive OSM/parity/mirror placement rules across array shapes"),
@@ -125,6 +132,7 @@ const PASSES: [(&str, &str); 10] = [
     ("trace-determinism", "full observability event stream must replay byte-identically"),
     ("fault-sweep", "every enumerated single-fault point recovers byte-for-byte"),
     ("race-detect", "vector-clock happens-before races and same-tick commutativity violations"),
+    ("static-analysis", "parser-based workspace rules: determinism scopes, trigger conformance, wildcard arms, lock discipline, hygiene"),
 ];
 
 fn pass_names() -> Vec<&'static str> {
@@ -143,6 +151,10 @@ fn run_pass(name: &str, budget: u64, smoke: bool) -> PassReport {
         "trace-determinism" => trace_determinism::run_pass(),
         "fault-sweep" => fault_sweep::run_pass(smoke),
         "race-detect" => race_detect::run_pass(smoke),
+        "static-analysis" => {
+            let crates_dir = Path::new(env!("CARGO_MANIFEST_DIR")).parent().expect("crates dir");
+            static_analysis::run_pass(crates_dir)
+        }
         other => unreachable!("unregistered pass {other}"),
     }
 }
@@ -152,11 +164,17 @@ struct Cli {
     budget: u64,
     smoke: bool,
     list: bool,
+    json: Option<String>,
 }
 
 fn parse_args() -> Result<Cli, String> {
-    let mut cli =
-        Cli { passes: Vec::new(), budget: model_check::DEFAULT_BUDGET, smoke: false, list: false };
+    let mut cli = Cli {
+        passes: Vec::new(),
+        budget: model_check::DEFAULT_BUDGET,
+        smoke: false,
+        list: false,
+        json: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -165,7 +183,11 @@ fn parse_args() -> Result<Cli, String> {
             "--pass" => {
                 // Accept underscores as separators too (`--pass
                 // trace_determinism` names the same pass).
-                let name = args.next().ok_or("--pass requires a name")?.replace('_', "-");
+                let mut name = args.next().ok_or("--pass requires a name")?.replace('_', "-");
+                // The old pass-4b line scanner lives on inside pass 11.
+                if name == "source-scan" {
+                    name = "static-analysis".to_string();
+                }
                 if !pass_names().contains(&name.as_str()) {
                     return Err(format!(
                         "unknown pass `{name}`; available: {}",
@@ -179,9 +201,12 @@ fn parse_args() -> Result<Cli, String> {
                 cli.budget =
                     n.parse().map_err(|e| format!("--budget: invalid number `{n}`: {e}"))?;
             }
+            "--json" => {
+                cli.json = Some(args.next().ok_or("--json requires a path")?);
+            }
             "--help" | "-h" => {
                 return Err(format!(
-                    "usage: verify_all [--pass <name>]... [--budget <n>] [--smoke] [--list-passes]\npasses: {}",
+                    "usage: verify_all [--pass <name>]... [--budget <n>] [--smoke] [--list-passes] [--json <path>]\npasses: {}",
                     pass_names().join(", ")
                 ));
             }
@@ -214,6 +239,7 @@ fn main() {
     let mut failures = 0;
     let mut checks = 0;
     let mut timings: Vec<(&str, f64)> = Vec::new();
+    let mut reports: Vec<PassReport> = Vec::new();
     for name in &selected {
         // det-ok: wall-clock spent per pass is reporting, not simulation.
         let t0 = std::time::Instant::now();
@@ -225,6 +251,14 @@ fn main() {
         println!("   ({secs:.2}s)\n");
         failures += p.failures();
         checks += p.checks.len();
+        reports.push(p);
+    }
+    if let Some(path) = &cli.json {
+        if let Err(e) = std::fs::write(path, report::render_json(&reports)) {
+            eprintln!("--json {path}: write failed: {e}");
+            std::process::exit(2);
+        }
+        println!("json report written to {path}");
     }
     let total: f64 = timings.iter().map(|(_, s)| s).sum();
     let slowest = timings.iter().max_by(|a, b| a.1.total_cmp(&b.1));

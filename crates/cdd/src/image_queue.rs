@@ -63,7 +63,7 @@ impl ImageQueue {
                     self.total += 1;
                 }
                 if entry.len() >= group_len {
-                    let full = self.groups.remove(&key).expect("entry exists");
+                    let full = self.groups.remove(&key).expect("entry exists"); // lint-ok(no-unwrap): key taken from the map's own iteration one line up
                     self.total -= full.len();
                     full
                 } else {
@@ -154,7 +154,7 @@ impl ImageQueue {
                 Some(&k) => k,
                 None => break,
             };
-            let group = self.groups.remove(&key).expect("key exists");
+            let group = self.groups.remove(&key).expect("key exists"); // lint-ok(no-unwrap): key taken from the map's own keys above
             self.total -= group.len();
             shed.extend(group);
         }

@@ -168,9 +168,12 @@ impl IoSystem {
         for step in steps.iter().take(limit) {
             let bytes = match &step.source {
                 RebuildSource::Copy(lb) => {
+                    // Reconstruct/Lost: fault set changed under a planned Copy.
                     let src = match self.layout.read_source(*lb, &sources) {
                         ReadSource::Primary(a) | ReadSource::Image(a) => a,
-                        _ => return Err(IoError::DataLoss { lb: *lb }),
+                        ReadSource::Reconstruct { .. } | ReadSource::Lost => {
+                            return Err(IoError::DataLoss { lb: *lb })
+                        }
                     };
                     self.plane.read_owned(src.disk, src.block)?
                 }
@@ -208,7 +211,9 @@ impl IoSystem {
                 RebuildSource::Copy(lb) => {
                     let src = match self.layout.read_source(*lb, &sources) {
                         ReadSource::Primary(a) | ReadSource::Image(a) => a,
-                        _ => unreachable!("checked above"),
+                        ReadSource::Reconstruct { .. } | ReadSource::Lost => {
+                            unreachable!("restoration pass above already resolved this source")
+                        }
                     };
                     seq(vec![ops.read_run(client, src.disk, src.block, 1), write])
                 }

@@ -55,7 +55,7 @@ impl JobRecord {
     /// Prefer [`JobRecord::try_latency`] anywhere an unfinished job can be
     /// observed (deadlocked runs, mid-run inspection, partial drains).
     pub fn latency(&self) -> SimDuration {
-        self.try_latency().expect("job not finished")
+        self.try_latency().expect("job not finished") // lint-ok(no-unwrap): caller contract: latency() is only for finished jobs
     }
 
     /// Foreground latency of the job, or `None` if it has not finished.
@@ -204,7 +204,7 @@ impl Engine {
         name: impl Into<String>,
         model: Box<dyn ServiceModel>,
     ) -> ResourceId {
-        let id = ResourceId(u32::try_from(self.resources.len()).expect("too many resources"));
+        let id = ResourceId(u32::try_from(self.resources.len()).expect("too many resources")); // lint-ok(no-unwrap): u32 resource-id space is a sim capacity invariant
         self.resources.push(ResourceSlot::new(name.into(), model));
         id
     }
@@ -273,7 +273,7 @@ impl Engine {
             let errs = lint_plan(&plan, &self.plan_context(), Strictness::Structural);
             assert!(errs.is_empty(), "structurally invalid plan: {errs:?}");
         }
-        let job = JobId(u32::try_from(self.jobs.len()).expect("too many jobs"));
+        let job = JobId(u32::try_from(self.jobs.len()).expect("too many jobs")); // lint-ok(no-unwrap): u32 job-id space is a sim capacity invariant
         self.jobs.push(JobRecord { label: label.into(), start, end: None });
         if let Some(tr) = self.tracer.as_mut() {
             let label = self.jobs[job.0 as usize].label.as_str();
@@ -313,7 +313,7 @@ impl Engine {
     pub fn run_until(&mut self, t: SimTime) -> SimTime {
         assert!(t >= self.now, "cannot run into the past");
         while self.events.peek().is_some_and(|Reverse(ev)| ev.time <= t) {
-            let Reverse(ev) = self.events.pop().expect("peeked event vanished");
+            let Reverse(ev) = self.events.pop().expect("peeked event vanished"); // lint-ok(no-unwrap): peek on the same non-empty heap one line up
             debug_assert!(ev.time >= self.now, "time went backwards");
             self.now = ev.time;
             match ev.kind {
@@ -392,7 +392,7 @@ impl Engine {
             self.tasks[idx as usize] = Some(task);
             TaskId(idx)
         } else {
-            let idx = u32::try_from(self.tasks.len()).expect("too many tasks");
+            let idx = u32::try_from(self.tasks.len()).expect("too many tasks"); // lint-ok(no-unwrap): u32 task-id space is a sim capacity invariant
             self.tasks.push(Some(task));
             TaskId(idx)
         };
@@ -404,7 +404,7 @@ impl Engine {
 
     /// Drive `tid` forward until it suspends or completes.
     fn advance(&mut self, tid: TaskId) {
-        let mut task = self.tasks[tid.0 as usize].take().expect("advancing a dead task");
+        let mut task = self.tasks[tid.0 as usize].take().expect("advancing a dead task"); // lint-ok(no-unwrap): scheduler only advances tasks it just dequeued
         loop {
             let next = match task.frames.last_mut() {
                 None => {
@@ -511,7 +511,7 @@ impl Engine {
             }
         }
         if let Some(parent) = task.parent {
-            let p = self.tasks[parent.0 as usize].as_mut().expect("parent died before child");
+            let p = self.tasks[parent.0 as usize].as_mut().expect("parent died before child"); // lint-ok(no-unwrap): parent slot outlives children by Par construction
             p.join_remaining -= 1;
             if p.join_remaining == 0 {
                 self.advance(parent);
@@ -566,7 +566,7 @@ impl Engine {
     fn resource_done(&mut self, rid: ResourceId) {
         let now = self.now;
         let slot = &mut self.resources[rid.index()];
-        let done = slot.current.take().expect("resource-done with idle resource");
+        let done = slot.current.take().expect("resource-done with idle resource"); // lint-ok(no-unwrap): resource-done events are only queued for busy slots
         let mut next_done = None;
         let next = if slot.queue.is_empty() {
             None

@@ -101,6 +101,7 @@ pub const PROTOCOL_ACTOR_BASE: u32 = 0x8000_0000;
 
 /// The protocol actor id of client node `client`.
 pub fn client_actor(client: usize) -> u32 {
+    // lint-ok(no-unwrap): client counts are far below the actor-namespace split
     PROTOCOL_ACTOR_BASE | u32::try_from(client).expect("client id overflows actor namespace")
 }
 

@@ -83,7 +83,7 @@ impl Plan {
                 }
                 match out.len() {
                     0 => Plan::Noop,
-                    1 => out.pop().expect("len checked"),
+                    1 => out.pop().expect("len checked"), // lint-ok(no-unwrap): arm guarded by the len()==1 match above
                     _ => Plan::Seq(out),
                 }
             }
@@ -98,7 +98,7 @@ impl Plan {
                 }
                 match out.len() {
                     0 => Plan::Noop,
-                    1 => out.pop().expect("len checked"),
+                    1 => out.pop().expect("len checked"), // lint-ok(no-unwrap): arm guarded by the len()==1 match above
                     _ => Plan::Par(out),
                 }
             }

@@ -434,17 +434,17 @@ impl EventLog {
 
     /// Snapshot of all recorded events, in emission order.
     pub fn events(&self) -> Vec<TimedEvent> {
-        self.events.lock().expect("event log poisoned").clone()
+        self.events.lock().expect("event log poisoned").clone() // lint-ok(no-unwrap): single-threaded sim: the event-log mutex cannot poison
     }
 
     /// Take all recorded events, leaving the log empty.
     pub fn take(&self) -> Vec<TimedEvent> {
-        std::mem::take(&mut *self.events.lock().expect("event log poisoned"))
+        std::mem::take(&mut *self.events.lock().expect("event log poisoned")) // lint-ok(no-unwrap): single-threaded sim: the event-log mutex cannot poison
     }
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("event log poisoned").len()
+        self.events.lock().expect("event log poisoned").len() // lint-ok(no-unwrap): single-threaded sim: the event-log mutex cannot poison
     }
 
     /// True if nothing has been recorded.
@@ -457,7 +457,7 @@ impl Tracer for EventLog {
     fn record(&mut self, at: SimTime, point: TracePoint<'_>) {
         self.events
             .lock()
-            .expect("event log poisoned")
+            .expect("event log poisoned") // lint-ok(no-unwrap): single-threaded sim: the event-log mutex cannot poison
             .push(TimedEvent { at, event: TraceEvent::from_point(point) });
     }
 }

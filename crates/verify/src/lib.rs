@@ -1,7 +1,7 @@
 #![warn(missing_docs)]
 //! # raidx-verify — static analysis and invariant verification
 //!
-//! Ten offline passes that check the reproduction's correctness
+//! Eleven offline passes that check the reproduction's correctness
 //! properties *before and between* simulations, independently of the unit
 //! tests:
 //!
@@ -54,10 +54,19 @@
 //!     defects (a dropped grant, a skipped barrier, twinned same-tick
 //!     disk services) prove each detector class catches real bugs, with
 //!     ddmin-shrunk counterexample windows.
+//! 11. [`static_analysis`] — the [`raidx_analyze`] parser-based
+//!     whole-workspace analyzer: scope-aware determinism hazards
+//!     (subsuming and replacing the old line-oriented pass 4b, which
+//!     [`source_scan`] now re-exports), fault-trigger/trace-point
+//!     conformance, a wildcard-arm ban on matches over safety-critical
+//!     enums, cdd lock-grant discipline, and hygiene gates (module-size
+//!     cap, `unwrap`/`expect` outside tests, missing pub docs), each
+//!     proved live by a planted-defect canary.
 //!
 //! Every pass is a library API first; `cargo run -p bench --bin
-//! verify_all` drives all ten (filterable with `--pass <name>`, listable
-//! with `--list-passes`) and exits non-zero on any finding.
+//! verify_all` drives all eleven (filterable with `--pass <name>`,
+//! listable with `--list-passes`, exportable with `--json <path>`) and
+//! exits non-zero on any finding.
 
 pub mod crash_consistency;
 pub mod determinism;
@@ -70,6 +79,7 @@ pub mod plan_lint;
 pub mod race_detect;
 pub mod report;
 pub mod source_scan;
+pub mod static_analysis;
 pub mod trace_determinism;
 
 pub use determinism::{audit_workload, engine_fingerprint, DeterminismReport};

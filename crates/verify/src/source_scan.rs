@@ -1,602 +1,23 @@
-//! Pass 4b — source-level nondeterminism hazard scan.
+//! Pass 4b — source-level nondeterminism hazard scan (compatibility
+//! shim).
 //!
-//! The determinism auditor proves one workload replays bit-identically;
-//! this scanner hunts for the *sources* of future divergence in the
-//! simulation crates before they ever fire in a run:
-//!
-//! * wall clocks and OS entropy (`Instant::now`, `SystemTime`,
-//!   `.elapsed(`, `UNIX_EPOCH`, `thread_rng`, `rand::random`) — the
-//!   simulator owns time and randomness, nothing else may; trace and
-//!   export paths in particular must stamp simulated nanoseconds only;
-//! * iteration over `HashMap`/`HashSet` bindings — iteration order is
-//!   randomized per process, so draining one into events, plans or error
-//!   lists silently breaks replay.
-//!
-//! The scanner is **token-aware**: each line is split by a small lexer
-//! into its code part (string and char literals blanked, block comments
-//! dropped) and its `//` line-comment part before any pattern matching.
-//! Hazard patterns only ever match real code — `.elapsed(` inside a
-//! comment or a format string is not a finding — and acknowledgements
-//! only ever live in line comments.
-//!
-//! A flagged line can be acknowledged with a `// det-ok:` comment on the
-//! line or the line above it (e.g. an error-path diagnostic where order
-//! is cosmetic); the scanner reports but does not count acknowledged
-//! sites. An acknowledgement whose scope (its own line and the next) no
-//! longer contains any hazard is itself flagged as **stale** — otherwise
-//! refactors silently leave behind comments that pre-approve a future
-//! hazard. Doc comments (`//!`, `///`) merely *mentioning* the marker are
-//! not acknowledgements. Test modules (from `#[cfg(test)]` onward) are
-//! skipped: tests assert determinism rather than provide it.
+//! The line-oriented scanner that used to live here was promoted into
+//! the dedicated analyzer crate as the scope-aware `determinism` rule
+//! family of verify pass 11 (`raidx_analyze::determinism`): the same
+//! hazard classes (wall clocks / OS entropy, unordered `HashMap` /
+//! `HashSet` iteration through bindings) and the same `det-ok`
+//! acknowledgement syntax, but with item-granular `#[cfg(test)]`
+//! skipping and per-function binding scopes from the shared item
+//! parser. This module re-exports the historical API so pass-4b
+//! callers (`verify_all --pass source_scan`, now an alias for
+//! `static-analysis`) keep working.
 
-use std::path::{Path, PathBuf};
-
-/// One hazardous line.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Hazard {
-    /// File the hazard is in (as given to the scanner).
-    pub file: String,
-    /// 1-based line number.
-    pub line: usize,
-    /// What was matched (pattern name or `unordered iteration of `ident).
-    pub what: String,
-    /// The offending line, trimmed.
-    pub snippet: String,
-}
-
-impl std::fmt::Display for Hazard {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}:{}: {} — {}", self.file, self.line, self.what, self.snippet)
-    }
-}
-
-// Built with concat! so the scanner does not flag its own pattern table.
-const CLOCK_AND_ENTROPY: [&str; 7] = [
-    concat!("thread", "_rng"),
-    concat!("Instant", "::now"),
-    concat!("System", "Time"),
-    concat!("rand", "::random"),
-    concat!("random", "_state"),
-    concat!(".ela", "psed("),
-    concat!("UNIX_", "EPOCH"),
-];
-
-const UNORDERED_TYPES: [&str; 2] = [concat!("Hash", "Map"), concat!("Hash", "Set")];
-
-const ITER_METHODS: [&str; 7] =
-    [".iter()", ".iter_mut()", ".values()", ".values_mut()", ".keys()", ".drain()", ".into_iter()"];
-
-/// Extract the identifier being bound on a line that declares an
-/// unordered-map value: `foo: HashMap<...>`, `let foo = HashMap::new()`,
-/// `let mut foo: HashSet<...>`.
-fn declared_ident(line: &str) -> Option<String> {
-    let pos = UNORDERED_TYPES.iter().filter_map(|t| line.find(t)).min()?;
-    let before = &line[..pos];
-    // The ident precedes the nearest `:` or `=` left of the type — but a
-    // `:` that is half of a `::` path separator (as in
-    // `std::collections::HashMap`) is part of the type path, not the
-    // binding separator, so skip those pairs while scanning right-to-left.
-    let b = before.as_bytes();
-    let mut sep = None;
-    let mut i = b.len();
-    while i > 0 {
-        i -= 1;
-        match b[i] {
-            b'=' => {
-                sep = Some(i);
-                break;
-            }
-            b':' if i > 0 && b[i - 1] == b':' => i -= 1, // skip `::`
-            b':' => {
-                sep = Some(i);
-                break;
-            }
-            _ => {}
-        }
-    }
-    let head = before[..sep?].trim_end();
-    let ident: String = head
-        .chars()
-        .rev()
-        .take_while(|c| c.is_alphanumeric() || *c == '_')
-        .collect::<Vec<_>>()
-        .into_iter()
-        .rev()
-        .collect();
-    let keyword = matches!(ident.as_str(), "" | "let" | "mut" | "pub" | "crate" | "self" | "fn");
-    (!keyword && !ident.chars().next().is_some_and(|c| c.is_numeric())).then_some(ident)
-}
-
-fn is_word_boundary(text: &str, start: usize) -> bool {
-    // `.` is allowed before: `self.pending.iter()` still iterates the
-    // tracked field `pending`.
-    start == 0
-        || !text[..start].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_')
-}
-
-/// Does `line` iterate the tracked identifier `ident`?
-fn iterates(line: &str, ident: &str) -> bool {
-    for m in ITER_METHODS {
-        let call = format!("{ident}{m}");
-        let mut from = 0;
-        while let Some(off) = line[from..].find(&call) {
-            let at = from + off;
-            if is_word_boundary(line, at) {
-                return true;
-            }
-            from = at + 1;
-        }
-    }
-    // `for x in map` / `for (k, v) in &map` / `in &mut self.map`.
-    if let Some(pos) = line.find(" in ") {
-        let tail = line[pos + 4..].trim_start_matches(['&', ' ']).trim_start_matches("mut ");
-        let end = tail
-            .find(|c: char| !(c.is_alphanumeric() || c == '_' || c == '.'))
-            .unwrap_or(tail.len());
-        // Last path segment: `ctx.barriers` iterates `barriers`.
-        if tail[..end].split('.').next_back() == Some(ident) && !tail[end..].starts_with('(') {
-            return true;
-        }
-    }
-    false
-}
-
-// Built with concat! for the same self-matching reason as the pattern
-// tables above.
-const ACK_MARKER: &str = concat!("det", "-ok");
-
-/// Multi-line lexer state carried across lines of one file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum LexState {
-    Code,
-    /// Inside `/* … */`, with nesting depth.
-    BlockComment(u32),
-    /// Inside a normal `"…"` string literal.
-    Str,
-    /// Inside a raw string literal closed by `"` + this many `#`s.
-    RawStr(u8),
-}
-
-/// One source line, split into what the compiler would see as code and
-/// what it would see as a `//` line comment.
-struct SplitLine {
-    /// Code with string/char literal contents blanked and comments
-    /// removed.
-    code: String,
-    /// Body of a trailing `//` line comment, if any.
-    comment: Option<String>,
-    /// The line comment was a doc comment (`///` or `//!`).
-    doc: bool,
-}
-
-/// Split one line, advancing the cross-line state.
-fn split_line(state: &mut LexState, line: &str) -> SplitLine {
-    let b = line.as_bytes();
-    let mut out = SplitLine { code: String::new(), comment: None, doc: false };
-    let mut i = 0;
-    while i < b.len() {
-        match *state {
-            LexState::BlockComment(depth) => {
-                if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
-                    *state =
-                        if depth > 1 { LexState::BlockComment(depth - 1) } else { LexState::Code };
-                    i += 2;
-                } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
-                    *state = LexState::BlockComment(depth + 1);
-                    i += 2;
-                } else {
-                    i += 1;
-                }
-            }
-            LexState::Str => {
-                if b[i] == b'\\' {
-                    i += 2; // skip the escaped char (or trailing continuation)
-                } else if b[i] == b'"' {
-                    *state = LexState::Code;
-                    i += 1;
-                } else {
-                    i += 1;
-                }
-            }
-            LexState::RawStr(hashes) => {
-                let close = b[i] == b'"'
-                    && b[i + 1..].iter().take(hashes as usize).filter(|&&c| c == b'#').count()
-                        == hashes as usize;
-                if close {
-                    *state = LexState::Code;
-                    i += 1 + hashes as usize;
-                } else {
-                    i += 1;
-                }
-            }
-            LexState::Code => {
-                let prev_ident = i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_');
-                match b[i] {
-                    b'/' if b.get(i + 1) == Some(&b'/') => {
-                        out.doc = matches!(b.get(i + 2), Some(&b'/') | Some(&b'!'));
-                        out.comment = Some(line[i + 2..].to_string());
-                        return out;
-                    }
-                    b'/' if b.get(i + 1) == Some(&b'*') => {
-                        *state = LexState::BlockComment(1);
-                        i += 2;
-                    }
-                    b'"' => {
-                        *state = LexState::Str;
-                        i += 1;
-                    }
-                    b'r' | b'b' if !prev_ident => {
-                        // Possible raw string: `r"…"`, `r#"…"#`, `br#"…"#`.
-                        let mut j = i + 1;
-                        if b[i] == b'b' && b.get(j) == Some(&b'r') {
-                            j += 1;
-                        }
-                        let mut hashes = 0u8;
-                        while b.get(j + hashes as usize) == Some(&b'#') {
-                            hashes += 1;
-                        }
-                        if b.get(j + hashes as usize) == Some(&b'"') && (b[i] == b'r' || j > i + 1)
-                        {
-                            *state = LexState::RawStr(hashes);
-                            i = j + hashes as usize + 1;
-                        } else {
-                            out.code.push(b[i] as char);
-                            i += 1;
-                        }
-                    }
-                    b'\'' if !prev_ident => {
-                        // Char literal vs lifetime: a literal closes with
-                        // `'` after one (possibly escaped) char.
-                        let lit_end = if b.get(i + 1) == Some(&b'\\') {
-                            // escaped char literals: '\n', '\'', '\x7f', '\u{…}'
-                            b[i + 2..].iter().position(|&c| c == b'\'').map(|p| i + 3 + p)
-                        } else if b.get(i + 2) == Some(&b'\'') {
-                            Some(i + 3)
-                        } else {
-                            None
-                        };
-                        match lit_end {
-                            Some(end) => i = end, // blank the literal
-                            None => {
-                                out.code.push('\''); // lifetime marker
-                                i += 1;
-                            }
-                        }
-                    }
-                    c => {
-                        out.code.push(c as char);
-                        i += 1;
-                    }
-                }
-            }
-        }
-    }
-    out
-}
-
-/// Scan one file's text. `label` is used in the reported hazards.
-pub fn scan_source_text(label: &str, text: &str) -> Vec<Hazard> {
-    // Lex the whole file (the lexer state spans lines), then keep the
-    // non-test prefix (test modules sit at the bottom).
-    let raw: Vec<&str> = text.lines().map(str::trim).collect();
-    let mut lex = LexState::Code;
-    let split: Vec<SplitLine> = raw
-        .iter()
-        .map(|l| split_line(&mut lex, l))
-        .take_while(|s| !s.code.contains("#[cfg(test)]"))
-        .collect();
-    let mut tracked: Vec<String> = Vec::new();
-    let mut found: Vec<(usize, Hazard)> = Vec::new();
-    // has_hazard[i]: line i contains a hazard, acknowledged or not —
-    // what decides whether a nearby acknowledgement is live or stale.
-    let mut has_hazard = vec![false; split.len()];
-    let mut acks: Vec<usize> = Vec::new();
-    for (i, s) in split.iter().enumerate() {
-        if let Some(comment) = &s.comment {
-            if !s.doc && comment.contains(ACK_MARKER) {
-                acks.push(i);
-            }
-        }
-        let line = s.code.as_str();
-        if let Some(ident) = declared_ident(line) {
-            if !tracked.contains(&ident) {
-                tracked.push(ident);
-            }
-        }
-        for pat in CLOCK_AND_ENTROPY {
-            if line.contains(pat) {
-                has_hazard[i] = true;
-                found.push((
-                    i,
-                    Hazard {
-                        file: label.to_string(),
-                        line: i + 1,
-                        what: format!("forbidden call {pat}"),
-                        snippet: raw[i].to_string(),
-                    },
-                ));
-            }
-        }
-        for ident in &tracked {
-            if iterates(line, ident) {
-                has_hazard[i] = true;
-                found.push((
-                    i,
-                    Hazard {
-                        file: label.to_string(),
-                        line: i + 1,
-                        what: format!("unordered iteration of `{ident}`"),
-                        snippet: raw[i].to_string(),
-                    },
-                ));
-            }
-        }
-    }
-    // An acknowledgement covers its own line and the next one; a hazard
-    // is reported unless covered, and a covering-nothing ack is stale.
-    let mut hazards: Vec<(usize, Hazard)> =
-        found.into_iter().filter(|(i, _)| !acks.iter().any(|&a| a == *i || a + 1 == *i)).collect();
-    for &a in &acks {
-        let live = has_hazard[a] || has_hazard.get(a + 1) == Some(&true);
-        if !live {
-            hazards.push((
-                a,
-                Hazard {
-                    file: label.to_string(),
-                    line: a + 1,
-                    what: format!("stale {ACK_MARKER} acknowledgement (no hazard in scope)"),
-                    snippet: raw[a].to_string(),
-                },
-            ));
-        }
-    }
-    hazards.sort_by_key(|(i, _)| *i);
-    hazards.into_iter().map(|(_, h)| h).collect()
-}
-
-/// Recursively scan every `.rs` file under `root` (skipping `tests/`,
-/// `benches/` and `target/` directories — those assert determinism, they
-/// do not implement it).
-pub fn scan_dir(root: &Path) -> std::io::Result<Vec<Hazard>> {
-    let mut files = Vec::new();
-    collect_rs_files(root, &mut files)?;
-    files.sort();
-    let mut hazards = Vec::new();
-    for f in files {
-        let text = std::fs::read_to_string(&f)?;
-        let label = f.strip_prefix(root).unwrap_or(&f).display().to_string();
-        hazards.extend(scan_source_text(&label, &text));
-    }
-    Ok(hazards)
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if matches!(name.as_ref(), "target" | "tests" | "benches" | ".git") {
-                continue;
-            }
-            collect_rs_files(&path, out)?;
-        } else if name.ends_with(".rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
-}
+pub use raidx_analyze::determinism::{scan_dir, scan_source_text, Hazard};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn flags_wall_clock_and_entropy() {
-        let src = "fn f() {\n    let t = Instant::now();\n    let r = rng.thread_rng();\n}\n";
-        let h = scan_source_text("x.rs", src);
-        assert_eq!(h.len(), 2, "{h:?}");
-        assert_eq!(h[0].line, 2);
-    }
-
-    #[test]
-    fn flags_elapsed_and_epoch_wall_clocks() {
-        // Trace/export paths must not stamp wall time: `.elapsed()` on a
-        // stopwatch and epoch arithmetic are both flagged.
-        let src = "fn f(t0: Instant) {\n    let d = t0.elapsed();\n    \
-                   let e = now.duration_since(UNIX_EPOCH);\n}\n";
-        let h = scan_source_text("x.rs", src);
-        assert_eq!(h.len(), 2, "{h:?}");
-        assert!(h[0].what.contains(concat!("ela", "psed")), "{h:?}");
-        assert!(h[1].what.contains(concat!("UNIX", "_EPOCH")), "{h:?}");
-    }
-
-    #[test]
-    fn flags_hashmap_iteration() {
-        let src = "\
-struct S { pending: HashMap<u64, u32> }
-fn f(s: &S) {
-    for (k, v) in s.pending.iter() {
-        use_it(k, v);
-    }
-}
-";
-        let h = scan_source_text("x.rs", src);
-        assert_eq!(h.len(), 1, "{h:?}");
-        assert!(h[0].what.contains("pending"));
-    }
-
-    #[test]
-    fn flags_fully_qualified_declaration() {
-        let src = "\
-let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
-for (k, v) in m.iter() {
-    use_it(k, v);
-}
-";
-        let h = scan_source_text("x.rs", src);
-        assert_eq!(h.len(), 1, "{h:?}");
-        assert!(h[0].what.contains("`m`"), "{h:?}");
-    }
-
-    #[test]
-    fn flags_for_in_over_tracked_binding() {
-        let src = "let seen = HashSet::new();\nfor d in &seen {\n    go(d);\n}\n";
-        let h = scan_source_text("x.rs", src);
-        assert_eq!(h.len(), 1, "{h:?}");
-    }
-
-    #[test]
-    fn det_ok_acknowledges() {
-        let src = "\
-let m: HashMap<u32, u32> = HashMap::new();
-// det-ok: error-path diagnostics, order is cosmetic
-for v in m.values() {
-    show(v);
-}
-";
-        assert!(scan_source_text("x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn inline_ack_on_hazard_line_accepted() {
-        let src = "let t = Instant::now(); // det-ok: test-only timing\n";
-        assert!(scan_source_text("x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn stale_ack_is_flagged() {
-        // The hazard this comment once excused is gone; the leftover
-        // acknowledgement would pre-approve whatever lands next to it.
-        let src = "\
-fn f() {
-    // det-ok: error-path diagnostics, order is cosmetic
-    let x = compute();
-    use_it(x);
-}
-";
-        let h = scan_source_text("x.rs", src);
-        assert_eq!(h.len(), 1, "{h:?}");
-        assert!(h[0].what.contains("stale"), "{h:?}");
-        assert_eq!(h[0].line, 2);
-    }
-
-    #[test]
-    fn doc_comment_mention_is_not_an_ack() {
-        // A doc comment describing the marker is neither a live nor a
-        // stale acknowledgement — and does not excuse a hazard below it.
-        let src = "//! Lines may carry a `// det-ok:` acknowledgement.\nlet t = Instant::now();\n";
-        let h = scan_source_text("x.rs", src);
-        assert_eq!(h.len(), 1, "{h:?}");
-        assert!(h[0].what.contains("forbidden call"), "{h:?}");
-    }
-
-    #[test]
-    fn acked_hazard_produces_neither_finding() {
-        let src = "\
-let m: HashMap<u32, u32> = HashMap::new();
-for v in m.values() { show(v); } // det-ok: order is cosmetic here
-";
-        assert!(scan_source_text("x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn btreemap_untracked_and_lookups_clean() {
-        let src = "\
-let b: BTreeMap<u32, u32> = BTreeMap::new();
-let m: HashMap<u32, u32> = HashMap::new();
-for v in b.values() { show(v); }
-let x = m.get(&3);
-m.insert(1, 2);
-";
-        assert!(scan_source_text("x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn test_modules_skipped() {
-        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn t() { Instant::now(); }\n}\n";
-        assert!(scan_source_text("x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn hazard_mentions_in_comments_are_not_findings() {
-        // The token-aware scanner must not flag pattern text that only
-        // appears in comments — the false-positive class the line-based
-        // scanner suffered from.
-        let src = "\
-// the stopwatch .elapsed( reading happens in the driver, not here
-fn f() {
-    /* Instant::now is forbidden in sim paths */
-    let x = compute();
-}
-";
-        assert!(scan_source_text("x.rs", src).is_empty(), "{:?}", scan_source_text("x.rs", src));
-    }
-
-    #[test]
-    fn hazard_text_in_string_literals_is_not_a_finding() {
-        let src = "\
-fn f() {
-    let msg = \"call Instant::now() to observe .elapsed( drift\";
-    let raw = r#\"SystemTime in a raw \"string\" too\"#;
-    emit(msg, raw);
-}
-";
-        assert!(scan_source_text("x.rs", src).is_empty(), "{:?}", scan_source_text("x.rs", src));
-    }
-
-    #[test]
-    fn multiline_strings_and_block_comments_stay_blanked() {
-        let src = "\
-fn f() {
-    let m = \"first line
-        second line with Instant::now()
-        third\";
-    /* a block comment
-       mentioning thread_rng across
-       lines */
-    let h: HashMap<u32, u32> = HashMap::new();
-    for v in h.values() { show(v); }
-}
-";
-        let h = scan_source_text("x.rs", src);
-        assert_eq!(h.len(), 1, "{h:?}");
-        assert!(h[0].what.contains("`h`"), "{h:?}");
-    }
-
-    #[test]
-    fn trailing_comment_hazard_is_ignored_but_code_still_scans() {
-        let src = "let t = Instant::now(); // not .elapsed( — the call left of us is the hazard\n";
-        let h = scan_source_text("x.rs", src);
-        assert_eq!(h.len(), 1, "{h:?}");
-        assert!(h[0].what.contains(concat!("Instant", "::now")), "{h:?}");
-    }
-
-    #[test]
-    fn char_literals_and_lifetimes_lex_through() {
-        // A `'"'` char literal must not open a string; lifetimes must
-        // not derail the lexer from later real hazards.
-        let src = "\
-fn f<'a>(x: &'a str) {
-    let q = '\"';
-    let e = '\\'';
-    let t = Instant::now();
-    keep(x, q, e, t);
-}
-";
-        let h = scan_source_text("x.rs", src);
-        assert_eq!(h.len(), 1, "{h:?}");
-        assert_eq!(h[0].line, 4);
-    }
-
-    #[test]
-    fn ack_inside_string_literal_does_not_acknowledge() {
-        let src = "let s = \"// det-ok: just text\";\nlet t = Instant::now();\n";
-        let h = scan_source_text("x.rs", src);
-        assert_eq!(h.len(), 1, "{h:?}");
-        assert!(h[0].what.contains("forbidden call"), "{h:?}");
-    }
+    use std::path::Path;
 
     /// The real tree must be hazard-free (with its `det-ok`
     /// acknowledgements) — the satellite gate that keeps future changes
@@ -611,5 +32,16 @@ fn f<'a>(x: &'a str) {
             hazards.len(),
             hazards.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
         );
+    }
+
+    /// The re-exported scanner keeps the historical behavior contract.
+    #[test]
+    fn shim_scans_like_pass_4b() {
+        let src = "fn f() {\n    let t = Instant::now();\n}\n";
+        let h = scan_source_text("x.rs", src);
+        assert_eq!(h.len(), 1, "{h:?}");
+        assert_eq!(h[0].line, 2);
+        let acked = "let t = Instant::now(); // det-ok: canary\n";
+        assert!(scan_source_text("x.rs", acked).is_empty());
     }
 }

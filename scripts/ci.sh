@@ -21,7 +21,12 @@ echo "==> race-detect --smoke (happens-before race + commutativity audit)"
 # instead of hiding inside the combined verify_all run below.
 cargo run --release -p bench --bin verify_all -- --pass race-detect --smoke
 
-echo "==> verify_all (plan lint, lock order, layout, determinism, model check, linearizability, crash consistency, trace determinism, fault sweep, race detect)"
+echo "==> static-analysis (raidx-analyze parser rules + planted canaries)"
+# Dedicated stage for the same reason: a new unacknowledged finding
+# should name the offending rule family in the CI log directly.
+cargo run --release -p bench --bin verify_all -- --pass static-analysis --smoke
+
+echo "==> verify_all (plan lint, lock order, layout, determinism, model check, linearizability, crash consistency, trace determinism, fault sweep, race detect, static analysis)"
 # --budget bounds schedules explored per model-checking scenario and
 # --smoke shrinks the fault-injection sweep to its CI subset, so the
 # gate stays fast even as scenarios grow.
