@@ -1,0 +1,108 @@
+//! Engine performance harness: write the `BENCH_engine.json` baseline
+//! plus the host-side attribution artifacts.
+//!
+//! ```text
+//! cargo run --release -p bench --bin perf [-- --samples <n>] [-- --smoke] [-- --out <dir>]
+//! ```
+//!
+//! Default (no `--out`): writes `BENCH_engine.json` at the repo root —
+//! the committed baseline the `perf-smoke` verify pass gates against —
+//! and the advisory host artifacts under `results/perf/`
+//! (`attribution.txt`, a per-phase host wall-clock table, and
+//! `host_profile.json`, a Chrome/Perfetto trace of the sampled phase
+//! spans). `--smoke` runs the CI subset (drops the oversized scale
+//! canary, fewer samples) and MUST be combined with `--out` so a quick
+//! check never clobbers the committed baseline. Run under `--release`:
+//! debug-build wall figures are meaningless and the run takes minutes.
+
+use std::path::{Path, PathBuf};
+
+use bench::perfbench::{self, PerfOptions};
+use raidx_verify::benchfile;
+use raidx_verify::perf_smoke::BASELINE_FILE;
+
+struct Cli {
+    opts: PerfOptions,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli { opts: PerfOptions::default(), out: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                cli.opts.smoke = true;
+                cli.opts.samples = cli.opts.samples.min(3);
+            }
+            "--samples" => {
+                let n = args.next().ok_or("--samples requires a number")?;
+                cli.opts.samples =
+                    n.parse().map_err(|e| format!("--samples: invalid number `{n}`: {e}"))?;
+            }
+            "--out" => cli.out = Some(PathBuf::from(args.next().ok_or("--out requires a path")?)),
+            "--help" | "-h" => {
+                return Err("usage: perf [--samples <n>] [--smoke] [--out <dir>]".to_string());
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    if cli.opts.smoke && cli.out.is_none() {
+        return Err(
+            "--smoke requires --out so it cannot overwrite the committed baseline".to_string()
+        );
+    }
+    Ok(cli)
+}
+
+fn write_outputs(root: &Path, run: &perfbench::PerfRun) -> std::io::Result<()> {
+    let results = root.join("results").join("perf");
+    std::fs::create_dir_all(&results)?;
+    let bench_path = root.join(BASELINE_FILE);
+    std::fs::write(&bench_path, benchfile::render(&run.rows, Some(run.overhead_pct)))?;
+    println!("wrote {}", bench_path.display());
+    let attr = results.join("attribution.txt");
+    std::fs::write(&attr, run.attribution.render_table())?;
+    println!("wrote {}", attr.display());
+    let chrome = results.join("host_profile.json");
+    std::fs::write(&chrome, run.attribution.chrome_trace_json())?;
+    println!("wrote {} (load in Perfetto / chrome://tracing)", chrome.display());
+    Ok(())
+}
+
+fn main() {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if cfg!(debug_assertions) {
+        eprintln!("perf: warning: debug build — wall figures are meaningless, use --release");
+    }
+    let root = match &cli.out {
+        Some(dir) => dir.clone(),
+        // crates/bench -> crates -> repo root.
+        None => Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("repo root")
+            .to_path_buf(),
+    };
+    println!(
+        "perf: {} samples/scenario{}",
+        cli.opts.samples.max(1),
+        if cli.opts.smoke { ", smoke subset" } else { "" }
+    );
+    let run = perfbench::run(&cli.opts);
+    print!("{}", perfbench::render_summary(&run));
+    if let Err(e) = write_outputs(&root, &run) {
+        eprintln!("perf: writing outputs under {} failed: {e}", root.display());
+        std::process::exit(1);
+    }
+    if !run.unstable.is_empty() {
+        eprintln!("perf: unstable work counters in: {}", run.unstable.join(", "));
+        std::process::exit(1);
+    }
+}

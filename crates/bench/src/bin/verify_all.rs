@@ -13,9 +13,11 @@
 //! observability event stream must replay byte-identically), the
 //! fault-injection sweep (every enumerated single-fault point recovers
 //! byte-for-byte and replays fingerprint-identically), the happens-before
-//! race detector over merged engine + protocol traces, and the
+//! race detector over merged engine + protocol traces, the
 //! parser-based whole-workspace static analyzer (`raidx-analyze`: five
-//! rule families with planted-defect canaries).
+//! rule families with planted-defect canaries), and the perf-smoke gate
+//! (deterministic engine work counters vs the committed
+//! `BENCH_engine.json` baseline, plus profiler transparency).
 //!
 //! `--pass <name>` (repeatable, hyphens and underscores interchangeable;
 //! `source-scan` is kept as an alias for `static-analysis`, which
@@ -33,8 +35,8 @@ use cluster::ClusterConfig;
 use raidx_core::Arch;
 use raidx_verify::{analyze_lock_trace, audit_workload, conformance_sweep, lint_io_paths};
 use raidx_verify::{
-    crash_consistency, fault_sweep, linearizability, model_check, race_detect, static_analysis,
-    trace_determinism,
+    crash_consistency, fault_sweep, linearizability, model_check, perf_smoke, race_detect,
+    static_analysis, trace_determinism,
 };
 use raidx_verify::{report, report::PassReport, source_scan};
 use sim_core::Engine;
@@ -121,7 +123,7 @@ fn determinism_pass() -> PassReport {
 
 /// Registry of every pass with a one-line description, in execution
 /// order (the order `--list-passes` prints and a full run executes).
-const PASSES: [(&str, &str); 11] = [
+const PASSES: [(&str, &str); 12] = [
     ("plan-lint", "reject Plan DAG shapes that would panic or deadlock the event loop"),
     ("lock-order", "replay recorded lock-group traces for double grants, leaks and order cycles"),
     ("layout-conformance", "exhaustive OSM/parity/mirror placement rules across array shapes"),
@@ -133,6 +135,7 @@ const PASSES: [(&str, &str); 11] = [
     ("fault-sweep", "every enumerated single-fault point recovers byte-for-byte"),
     ("race-detect", "vector-clock happens-before races and same-tick commutativity violations"),
     ("static-analysis", "parser-based workspace rules: determinism scopes, trigger conformance, wildcard arms, lock discipline, hygiene"),
+    ("perf-smoke", "deterministic engine work counters vs the BENCH_engine.json baseline, plus profiler transparency"),
 ];
 
 fn pass_names() -> Vec<&'static str> {
@@ -154,6 +157,13 @@ fn run_pass(name: &str, budget: u64, smoke: bool) -> PassReport {
         "static-analysis" => {
             let crates_dir = Path::new(env!("CARGO_MANIFEST_DIR")).parent().expect("crates dir");
             static_analysis::run_pass(crates_dir)
+        }
+        "perf-smoke" => {
+            let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+                .parent()
+                .and_then(Path::parent)
+                .expect("repo root");
+            perf_smoke::run_pass(repo_root)
         }
         other => unreachable!("unregistered pass {other}"),
     }
@@ -243,9 +253,10 @@ fn main() {
     for name in &selected {
         // det-ok: wall-clock spent per pass is reporting, not simulation.
         let t0 = std::time::Instant::now();
-        let p = run_pass(name, cli.budget, cli.smoke);
+        let mut p = run_pass(name, cli.budget, cli.smoke);
         // det-ok: wall-clock readout of the per-pass stopwatch above.
         let secs = t0.elapsed().as_secs_f64();
+        p.secs = Some(secs);
         timings.push((name, secs));
         print!("{}", p.render());
         println!("   ({secs:.2}s)\n");

@@ -23,12 +23,16 @@ pub struct ScalePoint {
     pub read_mbs: f64,
     /// Aggregate large-write MB/s.
     pub write_mbs: f64,
+    /// Engine events dispatched for the large-write run
+    /// ([`sim_core::EngineStats`]) — the simulator-cost axis of the
+    /// sweep, deterministic per configuration.
+    pub engine_events: u64,
 }
 
 /// Node counts swept.
 pub const NODES: [usize; 5] = [4, 8, 16, 32, 64];
 
-fn run_one(nodes: usize, gigabit: bool, pattern: IoPattern) -> f64 {
+fn run_one(nodes: usize, gigabit: bool, pattern: IoPattern) -> (f64, u64) {
     let mut cc = ClusterConfig::shape(nodes, 1);
     if gigabit {
         cc.net = NetSpec::gigabit();
@@ -36,7 +40,9 @@ fn run_one(nodes: usize, gigabit: bool, pattern: IoPattern) -> f64 {
     let mut engine = Engine::new();
     let mut store = IoSystem::new(&mut engine, cc, Arch::RaidX, CddConfig::default());
     let cfg = ParallelIoConfig { clients: nodes, pattern, repeats: 2, ..Default::default() };
-    run_parallel_io(&mut engine, &mut store, &cfg).expect("scale run failed").aggregate_mbs
+    let mbs =
+        run_parallel_io(&mut engine, &mut store, &cfg).expect("scale run failed").aggregate_mbs;
+    (mbs, engine.stats().events)
 }
 
 /// Full sweep.
@@ -47,11 +53,10 @@ pub fn run_sweep() -> Vec<ScalePoint> {
             cases.push((nodes, gigabit));
         }
     }
-    par_map(cases, |(nodes, gigabit)| ScalePoint {
-        nodes,
-        gigabit,
-        read_mbs: run_one(nodes, gigabit, IoPattern::LargeRead),
-        write_mbs: run_one(nodes, gigabit, IoPattern::LargeWrite),
+    par_map(cases, |(nodes, gigabit)| {
+        let (read_mbs, _) = run_one(nodes, gigabit, IoPattern::LargeRead);
+        let (write_mbs, engine_events) = run_one(nodes, gigabit, IoPattern::LargeWrite);
+        ScalePoint { nodes, gigabit, read_mbs, write_mbs, engine_events }
     })
 }
 
@@ -66,7 +71,13 @@ pub fn render(points: &[ScalePoint]) -> String {
             "\n**{} interconnect**\n\n",
             if gigabit { "Gigabit" } else { "Fast Ethernet (1999)" }
         ));
-        let headers = ["nodes", "large read (MB/s)", "large write (MB/s)", "read MB/s per node"];
+        let headers = [
+            "nodes",
+            "large read (MB/s)",
+            "large write (MB/s)",
+            "read MB/s per node",
+            "engine events (write)",
+        ];
         let rows: Vec<Vec<String>> = points
             .iter()
             .filter(|p| p.gigabit == gigabit)
@@ -76,6 +87,7 @@ pub fn render(points: &[ScalePoint]) -> String {
                     format!("{:.1}", p.read_mbs),
                     format!("{:.1}", p.write_mbs),
                     format!("{:.2}", p.read_mbs / p.nodes as f64),
+                    p.engine_events.to_string(),
                 ]
             })
             .collect();
@@ -96,8 +108,19 @@ mod tests {
 
     #[test]
     fn raidx_scales_superlinearly_vs_flat() {
-        let r8 = run_one(8, false, IoPattern::LargeRead);
-        let r32 = run_one(32, false, IoPattern::LargeRead);
+        let (r8, _) = run_one(8, false, IoPattern::LargeRead);
+        let (r32, _) = run_one(32, false, IoPattern::LargeRead);
         assert!(r32 > 2.5 * r8, "32 nodes {r32:.1} MB/s vs 8 nodes {r8:.1} MB/s — not scaling");
+    }
+
+    #[test]
+    fn engine_work_grows_with_cluster_size() {
+        let (_, e8) = run_one(8, false, IoPattern::LargeWrite);
+        let (_, e32) = run_one(32, false, IoPattern::LargeWrite);
+        assert!(e8 > 0, "no engine events counted");
+        assert!(
+            e32 > 2 * e8,
+            "simulator cost did not grow with the cluster: {e8} events @8 vs {e32} @32"
+        );
     }
 }

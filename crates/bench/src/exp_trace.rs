@@ -116,6 +116,13 @@ pub struct TraceRun {
     /// (`None` for NFS). With [`TraceConfig::max_image_backlog`] set this
     /// never exceeds the bound.
     pub image_backlog_peak: Option<usize>,
+    /// Samples that fell past the largest bound of any latency histogram
+    /// (their percentiles degrade to exact-max); nonzero means the stock
+    /// bucket bounds under-cover this workload.
+    pub hist_overflow: u64,
+    /// Peak queue depth per disk resource, `(resource name, depth)` in
+    /// registry order.
+    pub disk_queue_peaks: Vec<(String, u64)>,
     /// Whether the emitted Chrome trace parsed as valid JSON.
     pub trace_json_valid: bool,
     /// Paths written, in `trace/util/series/metrics` order.
@@ -206,6 +213,15 @@ pub fn run_arch(kind: SystemKind, cfg: &TraceConfig) -> std::io::Result<TraceRun
     let backlog = reg.gauge("osm.flush_backlog_bytes");
     let fg_end = SimTime((bw.elapsed_secs * 1e9).round() as u64);
     let lat = reg.histogram("job_latency_ns");
+    let hist_overflow = reg.histograms().map(|(_, h)| h.overflow_count()).sum();
+    let disk_queue_peaks = reg
+        .gauges()
+        .filter(|(name, _)| name.starts_with("disk") && name.ends_with(".queue_depth"))
+        .map(|(name, series)| {
+            let res = name.trim_end_matches(".queue_depth").to_string();
+            (res, series.max_value().unwrap_or(0.0).round() as u64)
+        })
+        .collect();
     Ok(TraceRun {
         kind,
         slug: s,
@@ -219,6 +235,8 @@ pub fn run_arch(kind: SystemKind, cfg: &TraceConfig) -> std::io::Result<TraceRun
         lock_samples: lock_samples.len(),
         image_backlog_peak: backlog_samples
             .map(|s| s.into_iter().map(|(_, blocks)| blocks).max().unwrap_or(0)),
+        hist_overflow,
+        disk_queue_peaks,
         trace_json_valid,
         paths,
         bw,
@@ -290,6 +308,22 @@ pub fn render_summary(runs: &[TraceRun]) -> String {
             r10.bw.elapsed_secs,
         ));
     }
+    let total_events: usize = runs.iter().map(|r| r.events).sum();
+    let total_overflow: u64 = runs.iter().map(|r| r.hist_overflow).sum();
+    out.push_str(&format!(
+        "\nTotals: {total_events} trace events across {} runs; {total_overflow} \
+         histogram samples past the largest bucket bound (exact-max fallback).\n",
+        runs.len()
+    ));
+    for r in runs {
+        let peaks: Vec<String> =
+            r.disk_queue_peaks.iter().map(|(res, d)| format!("{res}={d}")).collect();
+        out.push_str(&format!(
+            "  {}: peak disk queue depth {}\n",
+            r.slug,
+            if peaks.is_empty() { "-".to_string() } else { peaks.join(" ") }
+        ));
+    }
     for r in runs {
         out.push_str(&format!("  {} -> {}\n", r.slug, r.paths.join(", ")));
     }
@@ -355,6 +389,15 @@ mod tests {
         let summary = render_summary(&runs);
         assert!(summary.contains("RAID-x defers mirror-image writes"));
         assert!(summary.contains("trace_raidx.json"));
+        assert!(summary.contains("Totals:"), "{summary}");
+        assert!(summary.contains("peak disk queue depth"), "{summary}");
+        let rx = &runs[3];
+        assert!(!rx.disk_queue_peaks.is_empty(), "no disk queue gauges sampled");
+        assert!(
+            rx.disk_queue_peaks.iter().any(|(_, d)| *d > 0),
+            "parallel writes never queued at any disk: {:?}",
+            rx.disk_queue_peaks
+        );
     }
 
     /// The acceptance check for the backlog bound: in a traced parallel

@@ -10,6 +10,7 @@ use std::collections::{BinaryHeap, HashMap};
 
 use crate::demand::Demand;
 use crate::plan::{BarrierId, Plan};
+use crate::prof::{EngineStats, HostProfiler, Phase};
 use crate::resource::{Pending, ResourceId, ResourceSlot, ResourceStats, ServiceModel};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TracePoint, Tracer};
@@ -154,6 +155,13 @@ pub struct Engine {
     /// Optional observer of engine events; `None` keeps every emission
     /// site a single branch (the zero-cost-when-disabled guarantee).
     tracer: Option<Box<dyn Tracer>>,
+    /// Deterministic lifetime work counters (always on — plain integer
+    /// bumps on paths that already touch the counted structures).
+    stats: EngineStats,
+    /// Optional host wall-clock profiler; same zero-cost-when-disabled
+    /// `Option<Box<...>>` pattern as the tracer. Host time observed here
+    /// never feeds back into simulated time.
+    prof: Option<Box<HostProfiler>>,
 }
 
 impl Default for Engine {
@@ -178,6 +186,8 @@ impl Engine {
             live_total: 0,
             foreground_end: SimTime::ZERO,
             tracer: None,
+            stats: EngineStats::default(),
+            prof: None,
         }
     }
 
@@ -191,6 +201,28 @@ impl Engine {
     /// Remove and return the installed tracer, restoring no-op tracing.
     pub fn clear_tracer(&mut self) -> Option<Box<dyn Tracer>> {
         self.tracer.take()
+    }
+
+    /// Deterministic lifetime work counters: events dispatched, heap
+    /// pushes and peak population, task spawns and slot allocations,
+    /// queue-scan iterations, tracer dispatches. Always collected (no
+    /// profiler needed), identical across hosts for the same workload.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Install a [`HostProfiler`] that attributes host wall time to
+    /// engine phases from now on (replacing any previous one). Wall time
+    /// observed by the profiler is advisory and can never influence
+    /// simulated time or results.
+    pub fn set_profiler(&mut self, prof: HostProfiler) {
+        self.prof = Some(Box::new(prof));
+    }
+
+    /// Remove and return the installed profiler (its report snapshots
+    /// the attribution accumulated so far).
+    pub fn take_profiler(&mut self) -> Option<Box<HostProfiler>> {
+        self.prof.take()
     }
 
     /// Current simulated time.
@@ -278,6 +310,7 @@ impl Engine {
         if let Some(tr) = self.tracer.as_mut() {
             let label = self.jobs[job.0 as usize].label.as_str();
             tr.record(start, TracePoint::JobSpawned { job, label });
+            self.stats.on_tracer_records(1);
         }
         self.live_foreground += 1;
         let tid = self.new_task(plan, None, Some(job), false);
@@ -291,9 +324,16 @@ impl Engine {
         while let Some(Reverse(ev)) = self.events.pop() {
             debug_assert!(ev.time >= self.now, "time went backwards");
             self.now = ev.time;
+            self.stats.on_event();
+            if let Some(p) = self.prof.as_mut() {
+                p.event_begin();
+            }
             match ev.kind {
                 EventKind::Resume(t) | EventKind::StartJob(t) => self.advance(t),
                 EventKind::ResourceDone(r) => self.resource_done(r),
+            }
+            if let Some(p) = self.prof.as_mut() {
+                p.event_end();
             }
         }
         if self.live_total > 0 {
@@ -316,9 +356,16 @@ impl Engine {
             let Reverse(ev) = self.events.pop().expect("peeked event vanished"); // lint-ok(no-unwrap): peek on the same non-empty heap one line up
             debug_assert!(ev.time >= self.now, "time went backwards");
             self.now = ev.time;
+            self.stats.on_event();
+            if let Some(p) = self.prof.as_mut() {
+                p.event_begin();
+            }
             match ev.kind {
                 EventKind::Resume(task) | EventKind::StartJob(task) => self.advance(task),
                 EventKind::ResourceDone(r) => self.resource_done(r),
+            }
+            if let Some(p) = self.prof.as_mut() {
+                p.event_end();
             }
         }
         self.now = t;
@@ -371,6 +418,7 @@ impl Engine {
         let seq = self.seq;
         self.seq += 1;
         self.events.push(Reverse(Event { time, seq, kind }));
+        self.stats.on_heap_push(self.events.len());
     }
 
     fn new_task(
@@ -380,6 +428,9 @@ impl Engine {
         job: Option<JobId>,
         detached: bool,
     ) -> TaskId {
+        if let Some(p) = self.prof.as_mut() {
+            p.enter(Phase::TaskMgmt);
+        }
         self.live_total += 1;
         let task = Task {
             frames: vec![Frame::Seq(vec![plan].into_iter())],
@@ -389,15 +440,27 @@ impl Engine {
             detached,
         };
         let tid = if let Some(idx) = self.free_tasks.pop() {
+            self.stats.on_task_spawn(false);
             self.tasks[idx as usize] = Some(task);
             TaskId(idx)
         } else {
+            self.stats.on_task_spawn(true);
             let idx = u32::try_from(self.tasks.len()).expect("too many tasks"); // lint-ok(no-unwrap): u32 task-id space is a sim capacity invariant
             self.tasks.push(Some(task));
             TaskId(idx)
         };
         if let Some(tr) = self.tracer.as_mut() {
+            if let Some(p) = self.prof.as_mut() {
+                p.enter(Phase::Tracer);
+            }
             tr.record(self.now, TracePoint::TaskSpawned { task: tid, parent, detached });
+            self.stats.on_tracer_records(1);
+            if let Some(p) = self.prof.as_mut() {
+                p.exit();
+            }
+        }
+        if let Some(p) = self.prof.as_mut() {
+            p.exit();
         }
         tid
     }
@@ -476,6 +539,7 @@ impl Engine {
                                     released,
                                 },
                             );
+                            self.stats.on_tracer_records(1);
                         }
                         // current task falls through the barrier
                     } else {
@@ -485,6 +549,7 @@ impl Engine {
                                 self.now,
                                 TracePoint::BarrierWaited { barrier: id, task: tid },
                             );
+                            self.stats.on_tracer_records(1);
                         }
                         self.tasks[tid.0 as usize] = Some(task);
                         return;
@@ -495,20 +560,37 @@ impl Engine {
     }
 
     fn finish_task(&mut self, tid: TaskId, task: Task) {
+        // The TaskMgmt span covers completion bookkeeping only; the
+        // parent-join advance below recurses and is attributed to the
+        // spans its own work opens.
+        if let Some(p) = self.prof.as_mut() {
+            p.enter(Phase::TaskMgmt);
+        }
         self.live_total -= 1;
         self.free_tasks.push(tid.0);
         if let Some(tr) = self.tracer.as_mut() {
+            if let Some(p) = self.prof.as_mut() {
+                p.enter(Phase::Tracer);
+            }
             tr.record(self.now, TracePoint::TaskFinished { task: tid, detached: task.detached });
+            self.stats.on_tracer_records(1);
+            if let Some(p) = self.prof.as_mut() {
+                p.exit();
+            }
         }
         if let Some(job) = task.job {
             self.jobs[job.0 as usize].end = Some(self.now);
             if let Some(tr) = self.tracer.as_mut() {
                 tr.record(self.now, TracePoint::JobFinished { job });
+                self.stats.on_tracer_records(1);
             }
             self.live_foreground -= 1;
             if self.now > self.foreground_end {
                 self.foreground_end = self.now;
             }
+        }
+        if let Some(p) = self.prof.as_mut() {
+            p.exit();
         }
         if let Some(parent) = task.parent {
             let p = self.tasks[parent.0 as usize].as_mut().expect("parent died before child"); // lint-ok(no-unwrap): parent slot outlives children by Par construction
@@ -537,8 +619,12 @@ impl Engine {
             slot.stats.max_queue = depth;
         }
         if let Some(tr) = self.tracer.as_mut() {
+            if let Some(p) = self.prof.as_mut() {
+                p.enter(Phase::Tracer);
+            }
             let demand = &pending.demand;
             tr.record(now, TracePoint::Enqueued { res: rid, task: tid, demand, depth, detached });
+            self.stats.on_tracer_records(1);
             if let Some(done_at) = start_at {
                 tr.record(
                     now,
@@ -551,6 +637,10 @@ impl Engine {
                         detached,
                     },
                 );
+                self.stats.on_tracer_records(1);
+            }
+            if let Some(p) = self.prof.as_mut() {
+                p.exit();
             }
         }
         if start_at.is_some() {
@@ -575,10 +665,18 @@ impl Engine {
         } else {
             // Let the service model pick (FIFO by default; disks may
             // reorder by offset — SSTF/elevator).
+            if let Some(p) = self.prof.as_mut() {
+                p.enter(Phase::QueueScan);
+            }
+            self.stats.on_queue_scan(slot.queue.len());
             let demands: Vec<&Demand> = slot.queue.iter().map(|p| &p.demand).collect();
             let idx = slot.model.select_next(&demands);
             debug_assert!(idx < slot.queue.len(), "select_next out of range");
-            slot.queue.remove(idx.min(slot.queue.len() - 1))
+            let picked = slot.queue.remove(idx.min(slot.queue.len() - 1));
+            if let Some(p) = self.prof.as_mut() {
+                p.exit();
+            }
+            picked
         };
         if let Some(next) = next {
             let waited = now.since(next.enqueued);
@@ -589,6 +687,9 @@ impl Engine {
             slot.stats.bytes += next.demand.bytes();
             let done_at = now + st;
             if let Some(tr) = self.tracer.as_mut() {
+                if let Some(p) = self.prof.as_mut() {
+                    p.enter(Phase::Tracer);
+                }
                 let d_det = self.tasks[done.task.0 as usize].as_ref().is_some_and(|t| t.detached);
                 let n_det = self.tasks[next.task.0 as usize].as_ref().is_some_and(|t| t.detached);
                 tr.record(
@@ -611,10 +712,17 @@ impl Engine {
                         detached: n_det,
                     },
                 );
+                self.stats.on_tracer_records(2);
+                if let Some(p) = self.prof.as_mut() {
+                    p.exit();
+                }
             }
             slot.current = Some(next);
             next_done = Some(done_at);
         } else if let Some(tr) = self.tracer.as_mut() {
+            if let Some(p) = self.prof.as_mut() {
+                p.enter(Phase::Tracer);
+            }
             let d_det = self.tasks[done.task.0 as usize].as_ref().is_some_and(|t| t.detached);
             tr.record(
                 now,
@@ -625,6 +733,10 @@ impl Engine {
                     detached: d_det,
                 },
             );
+            self.stats.on_tracer_records(1);
+            if let Some(p) = self.prof.as_mut() {
+                p.exit();
+            }
         }
         if let Some(t) = next_done {
             self.schedule(t, EventKind::ResourceDone(rid));

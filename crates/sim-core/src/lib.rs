@@ -46,6 +46,7 @@ pub mod fault;
 pub mod hb;
 pub mod metrics;
 pub mod plan;
+pub mod prof;
 pub mod resource;
 pub mod rng;
 pub mod time;
@@ -60,6 +61,7 @@ pub use fault::{FaultPlan, FaultTrigger, ScheduledFault};
 pub use hb::{HbAnalysis, HbOptions, HbViolation, ViolationKind};
 pub use metrics::{Histogram, MetricsRegistry, TimeSeries};
 pub use plan::{BarrierId, Plan};
+pub use prof::{EngineStats, HostProfiler, Phase, PhaseStat, ProfReport};
 pub use resource::{FixedRate, ResourceId, ResourceStats, ServiceModel};
 pub use rng::SplitMix64;
 pub use time::{SimDuration, SimTime};

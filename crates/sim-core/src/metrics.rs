@@ -124,6 +124,13 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// Samples that landed past the largest configured bound — the
+    /// overflow bucket, where percentiles fall back to the exact maximum.
+    /// A nonzero count means the bounds under-cover the distribution.
+    pub fn overflow_count(&self) -> u64 {
+        self.counts[self.bounds.len()]
+    }
+
     /// `(upper_bound, count)` pairs for every non-overflow bucket plus a
     /// final `(max_seen, count)` overflow entry.
     pub fn buckets(&self) -> Vec<(u64, u64)> {

@@ -1,0 +1,172 @@
+//! The `BENCH_engine.json` schema: writer and (minimal) reader.
+//!
+//! `BENCH_engine.json` at the repo root is the PR-over-PR engine
+//! performance trajectory. Each scenario carries two kinds of numbers:
+//!
+//! * **advisory** wall-clock figures (`wall_ns`, `rate.per_sec`) —
+//!   machine-dependent, informative only, never gated;
+//! * **gateable** deterministic work counters (`work`) — functions of
+//!   the simulated workload alone, which the `perf-smoke` verify pass
+//!   compares against a fresh run within a tolerance band.
+//!
+//! The file deliberately carries no timestamp or host identifier, so
+//! regenerating it on an unchanged engine yields an unchanged `work`
+//! section (only the advisory numbers move). Both sides of the contract
+//! live here — [`render`] (used by `bench::perfbench` to write the
+//! baseline) and [`parse`] (used by the `perf-smoke` pass to read it) —
+//! so the writer and the gate can never drift apart.
+
+/// One benchmark scenario row of `BENCH_engine.json`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchScenario {
+    /// Stable scenario identifier (e.g. `"parallel_write_raidx"`).
+    pub name: String,
+    /// Timed repetitions behind the wall-clock figures.
+    pub samples: usize,
+    /// Median host wall time of one run, nanoseconds (advisory).
+    pub wall_median_ns: u64,
+    /// Median absolute deviation of the samples, nanoseconds (advisory).
+    pub wall_mad_ns: u64,
+    /// Which work counter the throughput figure is derived from.
+    pub rate_counter: String,
+    /// `work[rate_counter] / median wall seconds` (advisory).
+    pub rate_per_sec: f64,
+    /// Deterministic work counters, in stable order (gateable).
+    pub work: Vec<(String, u64)>,
+}
+
+/// Render the full `BENCH_engine.json` document.
+pub fn render(scenarios: &[BenchScenario], overhead_pct: Option<f64>) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n  \"schema\": \"raidx-bench-engine/v1\",\n");
+    out.push_str(
+        "  \"note\": \"wall_ns and rate are advisory (machine-dependent); \
+         work counters are deterministic and gated by verify pass perf-smoke\",\n",
+    );
+    if let Some(pct) = overhead_pct {
+        let _ = writeln!(out, "  \"profiler_overhead_pct\": {pct:.2},");
+    }
+    out.push_str("  \"scenarios\": [\n");
+    for (i, sc) in scenarios.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", sim_core::export::json_escape(&sc.name));
+        let _ = writeln!(out, "      \"samples\": {},", sc.samples);
+        let _ = writeln!(
+            out,
+            "      \"wall_ns\": {{\"median\": {}, \"mad\": {}}},",
+            sc.wall_median_ns, sc.wall_mad_ns
+        );
+        let _ = writeln!(
+            out,
+            "      \"rate\": {{\"counter\": \"{}\", \"per_sec\": {:.1}}},",
+            sim_core::export::json_escape(&sc.rate_counter),
+            sc.rate_per_sec
+        );
+        let pairs: Vec<String> = sc
+            .work
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {v}", sim_core::export::json_escape(k)))
+            .collect();
+        let _ = writeln!(out, "      \"work\": {{{}}}", pairs.join(", "));
+        let _ = writeln!(out, "    }}{}", if i + 1 < scenarios.len() { "," } else { "" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn quoted_value(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn num_after(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    digits.parse().ok()
+}
+
+fn parse_work(line: &str) -> Vec<(String, u64)> {
+    // `"work": {"events": 42, "heap_pushes": 99}` — split on the pairs.
+    let Some(open) = line.find('{') else { return Vec::new() };
+    let body = line[open + 1..].trim_end().trim_end_matches(['}', ',']);
+    body.split(", ")
+        .filter_map(|pair| {
+            let (k, v) = pair.split_once(": ")?;
+            Some((k.trim().trim_matches('"').to_string(), v.trim().parse().ok()?))
+        })
+        .collect()
+}
+
+/// Extract every scenario (name, advisory figures, work counters) from a
+/// `BENCH_engine.json` document written by [`render`]. Lines that don't
+/// match the schema are ignored, so the parser tolerates additions.
+pub fn parse(text: &str) -> Vec<BenchScenario> {
+    let mut out: Vec<BenchScenario> = Vec::new();
+    for line in text.lines() {
+        if let Some(name) = quoted_value(line, "name") {
+            out.push(BenchScenario { name, ..Default::default() });
+            continue;
+        }
+        let Some(cur) = out.last_mut() else { continue };
+        if line.contains("\"samples\":") {
+            cur.samples = num_after(line, "samples").unwrap_or(0.0) as usize;
+        } else if line.contains("\"wall_ns\":") {
+            cur.wall_median_ns = num_after(line, "median").unwrap_or(0.0) as u64;
+            cur.wall_mad_ns = num_after(line, "mad").unwrap_or(0.0) as u64;
+        } else if line.contains("\"rate\":") {
+            cur.rate_counter = quoted_value(line, "counter").unwrap_or_default();
+            cur.rate_per_sec = num_after(line, "per_sec").unwrap_or(0.0);
+        } else if line.contains("\"work\":") {
+            cur.work = parse_work(line);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> BenchScenario {
+        BenchScenario {
+            name: "perf_smoke".into(),
+            samples: 5,
+            wall_median_ns: 1_234_567,
+            wall_mad_ns: 890,
+            rate_counter: "events".into(),
+            rate_per_sec: 123456.7,
+            work: vec![("events".into(), 4242), ("heap_pushes".into(), 9999)],
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let scenarios = vec![demo(), BenchScenario { name: "other".into(), ..demo() }];
+        let text = render(&scenarios, Some(1.9));
+        assert!(sim_core::json_is_valid(&text), "{text}");
+        let back = parse(&text);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0], scenarios[0]);
+        assert_eq!(back[1].name, "other");
+        assert!(text.contains("\"profiler_overhead_pct\": 1.90"));
+    }
+
+    #[test]
+    fn render_without_overhead_is_valid() {
+        let text = render(&[demo()], None);
+        assert!(sim_core::json_is_valid(&text), "{text}");
+        assert!(!text.contains("profiler_overhead_pct"));
+    }
+
+    #[test]
+    fn parser_ignores_unknown_lines() {
+        let text = "{\n  \"schema\": \"x\",\n  \"future_field\": 3,\n  \"scenarios\": []\n}\n";
+        assert!(parse(text).is_empty());
+    }
+}

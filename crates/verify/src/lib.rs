@@ -1,7 +1,7 @@
 #![warn(missing_docs)]
 //! # raidx-verify — static analysis and invariant verification
 //!
-//! Eleven offline passes that check the reproduction's correctness
+//! Twelve offline passes that check the reproduction's correctness
 //! properties *before and between* simulations, independently of the unit
 //! tests:
 //!
@@ -62,12 +62,21 @@
 //!     enums, cdd lock-grant discipline, and hygiene gates (module-size
 //!     cap, `unwrap`/`expect` outside tests, missing pub docs), each
 //!     proved live by a planted-defect canary.
+//! 12. [`perf_smoke`] — the engine-performance regression gate: re-runs
+//!     the small scenarios shared with `bench::perfbench` and compares
+//!     the deterministic [`sim_core::EngineStats`] work counters against
+//!     the committed `BENCH_engine.json` baseline ([`benchfile`] holds
+//!     the schema) within a tolerance band, asserts a profiler-on run is
+//!     result-identical to a profiler-off run, and proves the comparator
+//!     live with a planted 3× counter drift. Wall-clock figures in the
+//!     baseline are advisory and never gated.
 //!
 //! Every pass is a library API first; `cargo run -p bench --bin
-//! verify_all` drives all eleven (filterable with `--pass <name>`,
+//! verify_all` drives all twelve (filterable with `--pass <name>`,
 //! listable with `--list-passes`, exportable with `--json <path>`) and
 //! exits non-zero on any finding.
 
+pub mod benchfile;
 pub mod crash_consistency;
 pub mod determinism;
 pub mod fault_sweep;
@@ -75,6 +84,7 @@ pub mod layout_check;
 pub mod linearizability;
 pub mod lock_order;
 pub mod model_check;
+pub mod perf_smoke;
 pub mod plan_lint;
 pub mod race_detect;
 pub mod report;
@@ -82,6 +92,7 @@ pub mod source_scan;
 pub mod static_analysis;
 pub mod trace_determinism;
 
+pub use benchfile::BenchScenario;
 pub use determinism::{audit_workload, engine_fingerprint, DeterminismReport};
 pub use fault_sweep::{FaultKind, SweepOutcome, SweepScenario};
 pub use layout_check::{conformance_sweep, SweepRow};

@@ -25,12 +25,16 @@ pub struct PassReport {
     pub pass: String,
     /// Individual checks, in execution order.
     pub checks: Vec<Check>,
+    /// Wall-clock seconds the pass took, when the driver measured it
+    /// (`verify_all` does; library callers may leave it `None`). Carried
+    /// into the JSON report so CI can trend pass cost over PRs.
+    pub secs: Option<f64>,
 }
 
 impl PassReport {
     /// An empty report for the named pass.
     pub fn new(pass: impl Into<String>) -> Self {
-        PassReport { pass: pass.into(), checks: Vec::new() }
+        PassReport { pass: pass.into(), checks: Vec::new(), secs: None }
     }
 
     /// Record a passing check.
@@ -110,16 +114,22 @@ impl PassReport {
 use sim_core::export::json_escape;
 
 /// Serialize a run's pass reports as machine-readable JSON
-/// (`verify_all --json`). Stable schema: every check is an object with
+/// (`verify_all --json`). Stable schema: every pass object carries
+/// `pass`, `ok`, `secs` (wall-clock cost, null when unmeasured — CI
+/// trends this over PRs) and `checks`; every check is an object with
 /// `pass`, `rule` (the check name), `file`/`line` (null for dynamic
 /// checks), `message`, `acknowledged` and `ok`.
 pub fn render_json(reports: &[PassReport]) -> String {
     use std::fmt::Write as _;
     let mut out = String::from("{\n  \"passes\": [\n");
     for (pi, r) in reports.iter().enumerate() {
+        let secs = match r.secs {
+            Some(s) => format!("{s:.3}"),
+            None => "null".to_string(),
+        };
         let _ = writeln!(
             out,
-            "    {{\"pass\": \"{}\", \"ok\": {}, \"checks\": [",
+            "    {{\"pass\": \"{}\", \"ok\": {}, \"secs\": {secs}, \"checks\": [",
             json_escape(&r.pass),
             r.all_ok()
         );
@@ -159,12 +169,23 @@ mod tests {
         let mut r = PassReport::new("static-analysis");
         r.push_spanned("no-unwrap", true, "acked \"why\"", "cdd/src/x.rs", 12, true);
         r.fail("canary", "missing");
+        r.secs = Some(1.2345);
         let json = render_json(&[r]);
         assert!(sim_core::export::json_is_valid(&json), "{json}");
         assert!(json.contains("\"file\": \"cdd/src/x.rs\""));
         assert!(json.contains("\"line\": 12"));
         assert!(json.contains("\"acknowledged\": true"));
         assert!(json.contains("\"file\": null"));
+        assert!(json.contains("\"secs\": 1.234"), "{json}");
+    }
+
+    #[test]
+    fn unmeasured_pass_serializes_null_secs() {
+        let mut r = PassReport::new("demo");
+        r.ok("a", "fine");
+        let json = render_json(&[r]);
+        assert!(sim_core::export::json_is_valid(&json), "{json}");
+        assert!(json.contains("\"secs\": null"), "{json}");
     }
 
     #[test]

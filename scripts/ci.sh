@@ -26,7 +26,17 @@ echo "==> static-analysis (raidx-analyze parser rules + planted canaries)"
 # should name the offending rule family in the CI log directly.
 cargo run --release -p bench --bin verify_all -- --pass static-analysis --smoke
 
-echo "==> verify_all (plan lint, lock order, layout, determinism, model check, linearizability, crash consistency, trace determinism, fault sweep, race detect, static analysis)"
+echo "==> perf-smoke (engine work counters vs BENCH_engine.json + profiler transparency)"
+# Gates the deterministic work counters only — wall-clock figures in the
+# baseline are advisory. An intentional engine change regenerates the
+# baseline with `cargo run --release -p bench --bin perf`.
+cargo run --release -p bench --bin verify_all -- --pass perf-smoke
+
+echo "==> perf --smoke (harness self-check, outputs under target/)"
+# --out keeps the quick run away from the committed baseline.
+cargo run --release -p bench --bin perf -- --smoke --out target/perf-smoke
+
+echo "==> verify_all (plan lint, lock order, layout, determinism, model check, linearizability, crash consistency, trace determinism, fault sweep, race detect, static analysis, perf smoke)"
 # --budget bounds schedules explored per model-checking scenario and
 # --smoke shrinks the fault-injection sweep to its CI subset, so the
 # gate stays fast even as scenarios grow.
