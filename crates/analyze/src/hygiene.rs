@@ -29,14 +29,13 @@ pub const MODULE_LINE_CAP: usize = 450;
 
 /// Files that predate the cap. Exact workspace-relative paths; nothing
 /// may be added here without shrinking something else.
-pub const GRANDFATHERED: [&str; 8] = [
+pub const GRANDFATHERED: [&str; 7] = [
     "sim-core/src/hb.rs",
     "sim-core/src/engine.rs",
     "sim-core/src/explore.rs",
     "sim-core/src/trace.rs",
     "sim-core/src/export.rs",
     "sim-core/src/metrics.rs",
-    "cdd/src/system.rs",
     "cfs/src/fs.rs",
 ];
 
@@ -176,7 +175,7 @@ mod tests {
         let big = "// filler\n".repeat(MODULE_LINE_CAP + 1);
         let f = scan_path("cdd/src/fresh.rs", &big);
         assert!(f.iter().any(|x| x.rule == RULE_SIZE), "{f:?}");
-        let g = scan_path("cdd/src/system.rs", &big);
+        let g = scan_path("cfs/src/fs.rs", &big);
         assert!(!g.iter().any(|x| x.rule == RULE_SIZE), "{g:?}");
     }
 

@@ -152,6 +152,79 @@ pub fn rebuild_under_load(arch: Arch) -> RebuildLoadPoint {
     }
 }
 
+/// Foreground cost of an epoch-map rebalance: retiring a healthy disk
+/// onto a hot-added spare while clients keep reading.
+#[derive(Debug, Clone)]
+pub struct RebalanceLoadPoint {
+    /// Architecture.
+    pub arch: Arch,
+    /// Foreground load duration on the static array (seconds).
+    pub fg_healthy_secs: f64,
+    /// Foreground load duration while the migration drains in the
+    /// background (old-home routing + copy contention).
+    pub fg_rebalance_secs: f64,
+    /// Time until the background migration itself drained (seconds).
+    pub rebalance_drain_secs: f64,
+    /// Blocks the migration moved.
+    pub moved_blocks: usize,
+}
+
+impl RebalanceLoadPoint {
+    /// Foreground slowdown factor under the migration.
+    pub fn slowdown(&self) -> f64 {
+        self.fg_rebalance_secs / self.fg_healthy_secs
+    }
+}
+
+/// Measure rebalance-under-load for one architecture: the same foreground
+/// read load as [`rebuild_under_load`], but the background job is the
+/// incremental migration draining a disk-retirement epoch transition
+/// instead of a post-failure rebuild — the cost the epoch-versioned map
+/// pays to reshape a *healthy* array.
+pub fn rebalance_under_load(arch: Arch) -> RebalanceLoadPoint {
+    let nblocks = 256u64;
+    let mut cc = ClusterConfig::trojans();
+    cc.disk.capacity = 512 << 20;
+    let seed = |engine: &mut Engine, sys: &mut IoSystem| {
+        let bs = sys.block_size() as usize;
+        let data = dataset(nblocks, bs);
+        let wp = sys.write(0, 0, &data).expect("seed write");
+        engine.spawn_job("seed", wp);
+        engine.run().expect("seed run");
+    };
+
+    // Static (epoch-0) baseline.
+    let mut engine = Engine::new();
+    let mut sys = IoSystem::new(&mut engine, cc.clone(), arch, CddConfig::default());
+    seed(&mut engine, &mut sys);
+    let t0 = engine.now();
+    spawn_foreground(&mut engine, &mut sys, nblocks);
+    let report = engine.run().expect("healthy fg run");
+    let fg_healthy_secs = report.foreground_end.since(t0).as_secs_f64();
+
+    // Epoch transition + foreground load + background migration drain.
+    let mut engine = Engine::new();
+    let mut sys = IoSystem::new(&mut engine, cc, arch, CddConfig::default());
+    seed(&mut engine, &mut sys);
+    sys.add_disk(&mut engine, 0).expect("hot-add spare");
+    sys.remove_disk(0, 3).expect("retire disk 3");
+    let t0 = engine.now();
+    // Plan the foreground first: mid-migration reads of still-pending
+    // blocks route to the old home, exactly as clients would see them.
+    spawn_foreground(&mut engine, &mut sys, nblocks);
+    let out = sys.rebalance(3, None).expect("rebalance plan");
+    assert!(out.finished, "unbounded rebalance must drain the migration");
+    engine.spawn_job("rebalance", background(out.plan));
+    let report = engine.run().expect("rebalance-under-load run");
+    RebalanceLoadPoint {
+        arch,
+        fg_healthy_secs,
+        fg_rebalance_secs: report.foreground_end.since(t0).as_secs_f64(),
+        rebalance_drain_secs: report.end.since(t0).as_secs_f64(),
+        moved_blocks: out.moved,
+    }
+}
+
 /// The paper's 4×3 claim: three simultaneous failures, one per row,
 /// survive; a fourth in an occupied row loses data.
 pub fn multi_failure_4x3() -> (bool, bool) {
@@ -234,6 +307,37 @@ pub fn render() -> String {
          the drain column is how long the array stays exposed to a second \
          failure.\n",
     );
+    out.push_str("\n### Rebalance under continuing foreground load\n\n");
+    let headers = [
+        "Architecture",
+        "fg static (s)",
+        "fg during rebalance (s)",
+        "slowdown",
+        "migration drain (s)",
+        "Blocks moved",
+    ];
+    let rows: Vec<Vec<String>> = [Arch::Raid5, Arch::Chained, Arch::Raid10, Arch::RaidX]
+        .into_iter()
+        .map(|arch| {
+            let p = rebalance_under_load(arch);
+            vec![
+                arch.name().to_string(),
+                format!("{:.4}", p.fg_healthy_secs),
+                format!("{:.4}", p.fg_rebalance_secs),
+                format!("{:.2}x", p.slowdown()),
+                format!("{:.4}", p.rebalance_drain_secs),
+                p.moved_blocks.to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&md_table(&headers, &rows));
+    out.push_str(
+        "\nHere the array is healthy: a hot-added spare absorbs a retired \
+         disk via the epoch map's incremental migration, so only that \
+         disk's blocks move — compare the drain and slowdown columns \
+         against the full rebuild table above, which must reconstruct \
+         every lost block from redundancy.\n",
+    );
     out
 }
 
@@ -256,6 +360,21 @@ mod tests {
         let (three, four) = multi_failure_4x3();
         assert!(three);
         assert!(!four);
+    }
+
+    #[test]
+    fn rebalance_under_load_moves_only_the_retired_disk() {
+        let p = rebalance_under_load(Arch::RaidX);
+        assert!(p.moved_blocks > 0, "migration moved nothing");
+        assert!(p.fg_healthy_secs > 0.0);
+        assert!(p.rebalance_drain_secs >= p.fg_healthy_secs * 0.1);
+        let r = rebuild_under_load(Arch::RaidX);
+        assert!(
+            p.moved_blocks <= r.rebuilt_blocks,
+            "migration ({}) moved more blocks than a full rebuild restored ({})",
+            p.moved_blocks,
+            r.rebuilt_blocks
+        );
     }
 
     #[test]

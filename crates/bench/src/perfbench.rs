@@ -142,6 +142,20 @@ fn scenario_list(smoke: bool) -> Vec<Scenario> {
         }),
     });
     out.push(Scenario {
+        name: "reconfig_smoke",
+        rate: "trace_events",
+        run: Box::new(|| {
+            // Disk add + retire mid-workload, migration drained after the
+            // script: tracks rebalance throughput next to fault recovery.
+            let sc = SweepScenario { arch: Arch::RaidX, kind: FaultKind::Reconfig, inject_at: 18 };
+            let outcome = fault_sweep::run_scenario(&sc);
+            vec![
+                ("trace_events".to_string(), outcome.events as u64),
+                ("failed_ops".to_string(), outcome.failed_ops as u64),
+            ]
+        }),
+    });
+    out.push(Scenario {
         name: perf_smoke::MODEL_NAME,
         rate: "steps",
         run: Box::new(perf_smoke::model_budget_work),
@@ -291,7 +305,7 @@ mod tests {
     #[test]
     fn full_scenario_list_names_are_unique_and_complete() {
         let list = scenario_list(false);
-        assert!(list.len() >= 7, "full list covers all scenario families");
+        assert!(list.len() >= 8, "full list covers all scenario families");
         let mut names: Vec<_> = list.iter().map(|s| s.name).collect();
         names.sort_unstable();
         names.dedup();
@@ -300,6 +314,7 @@ mod tests {
             "perf_smoke",
             "parallel_write_raidx",
             "fault_smoke",
+            "reconfig_smoke",
             "model_check_budget",
             "scale_canary_64",
         ] {

@@ -1,0 +1,106 @@
+//! Scenario compilation for the `raidx-model` protocol checker: each
+//! scripted [`ProtoOp`] breaks into atomic scheduler-visible
+//! [`MicroStep`]s (acquire the lock group, write/read one block,
+//! release; bump the epoch, migrate the pending block) so the explorer
+//! in [`crate::proto`] can preempt between any two. Seeded [`Defect`]s
+//! are planted here, at compilation time, by distorting the step
+//! sequence.
+
+use crate::scenarios::{Defect, ProtoOp, Scenario};
+
+/// One atomic scheduler-visible action of a client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MicroStep {
+    Acquire {
+        start: u64,
+        len: u64,
+    },
+    Write {
+        lb: u64,
+        val: u64,
+    },
+    Read {
+        lb: u64,
+    },
+    Release,
+    /// Epoch transition: placement flips, the migrating block goes pending.
+    Bump,
+    /// Migration copy old home → new home. The faithful protocol
+    /// re-validates the pending flag (a new-epoch write already moved the
+    /// block); the seeded defect copies unconditionally.
+    Migrate {
+        revalidate: bool,
+    },
+}
+
+/// A scripted operation compiled to micro-steps.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledOp {
+    pub(crate) op: ProtoOp,
+    pub(crate) steps: Vec<MicroStep>,
+}
+
+pub(crate) fn compile_op(op: &ProtoOp, sc: &Scenario, client: usize) -> CompiledOp {
+    let defect = sc.defect;
+    let mut steps = Vec::new();
+    match *op {
+        ProtoOp::WriteGroup { start, len, val } => {
+            match defect {
+                Defect::SplitAcquire if len > 1 => {
+                    // Non-atomic per-block acquisition; odd clients in
+                    // descending order — the classic ABBA shape.
+                    let blocks: Vec<u64> = (start..start + len).collect();
+                    let order: Vec<u64> = if client.is_multiple_of(2) {
+                        blocks
+                    } else {
+                        blocks.into_iter().rev().collect()
+                    };
+                    for lb in order {
+                        steps.push(MicroStep::Acquire { start: lb, len: 1 });
+                    }
+                }
+                _ => steps.push(MicroStep::Acquire { start, len }),
+            }
+            if defect == Defect::EarlyRelease && len > 1 {
+                steps.push(MicroStep::Write { lb: start, val });
+                steps.push(MicroStep::Release);
+                for lb in start + 1..start + len {
+                    steps.push(MicroStep::Write { lb, val });
+                }
+            } else {
+                for lb in start..start + len {
+                    steps.push(MicroStep::Write { lb, val });
+                }
+                steps.push(MicroStep::Release);
+            }
+        }
+        ProtoOp::ReadGroup { start, len } => {
+            let locked = defect != Defect::UnlockedRead;
+            if locked {
+                steps.push(MicroStep::Acquire { start, len });
+            }
+            for lb in start..start + len {
+                steps.push(MicroStep::Read { lb });
+            }
+            if locked {
+                steps.push(MicroStep::Release);
+            }
+        }
+        ProtoOp::Reconfig => {
+            // The meta lock is a reserved range past the data blocks —
+            // the model analogue of `membership::EPOCH_META_LB`.
+            steps.push(MicroStep::Acquire { start: sc.blocks, len: 1 });
+            steps.push(MicroStep::Bump);
+            steps.push(MicroStep::Release);
+            let mig = sc.mig.unwrap_or(0);
+            if defect == Defect::UnsyncedReconfig {
+                steps.push(MicroStep::Migrate { revalidate: false });
+            } else {
+                steps.push(MicroStep::Acquire { start: mig, len: 1 });
+                steps.push(MicroStep::Migrate { revalidate: true });
+                steps.push(MicroStep::Release);
+            }
+        }
+    }
+    CompiledOp { op: op.clone(), steps }
+}

@@ -1,0 +1,440 @@
+//! The request paths of the [`IoSystem`]: epoch-stamped admission,
+//! locked writes through the scheme drivers, and replica-balanced reads.
+//!
+//! Every request is admitted first ([`crate::frontend::Admission`]),
+//! stamping the placement epoch the client saw. Writes must execute
+//! under the same epoch; reads may trail by one while that epoch's
+//! migration drains — the placer serves still-pending blocks from their
+//! old physical home, which *is* the stale epoch's view, so such reads
+//! stay byte-correct without blocking on the rebalance.
+//!
+//! All placement decisions (layout addresses, fault routing, replica
+//! selection) happen in logical *slot* space; the translation to
+//! physical disks happens at the plane boundary through the
+//! [`crate::placer::Placer`], and is the identity on a
+//! never-reconfigured array.
+
+use cluster::xor_into;
+use raidx_core::{FaultSet, ReadSource};
+use sim_core::plan::{delay, par, seq};
+use sim_core::trace::AccessKind;
+use sim_core::{hb, Plan};
+
+use crate::error::IoError;
+use crate::frontend::{self, Admission};
+use crate::runs::merge_runs;
+use crate::scheme::{self, WriteCtx};
+use crate::system::IoSystem;
+
+impl IoSystem {
+    /// Admit a write of `len` bytes at `lb0`, stamping the current epoch.
+    pub fn admit_write(&self, lb0: u64, len: usize) -> Result<Admission, IoError> {
+        let bs = self.block_size() as usize;
+        let nblocks = frontend::validate_write(bs, self.capacity_blocks(), lb0, len)?;
+        Ok(Admission { lb0, nblocks, epoch: self.placer.epoch() })
+    }
+
+    /// Admit a read of `nblocks` blocks at `lb0`, stamping the current
+    /// epoch.
+    pub fn admit_read(&self, lb0: u64, nblocks: u64) -> Result<Admission, IoError> {
+        frontend::validate_range(lb0, nblocks, self.capacity_blocks())?;
+        Ok(Admission { lb0, nblocks, epoch: self.placer.epoch() })
+    }
+
+    /// Write `data` (a whole number of blocks) at logical block `lb0` on
+    /// behalf of node `client`. Returns the timing plan; the bytes are
+    /// already durable on the functional plane when this returns.
+    pub fn write(&mut self, client: usize, lb0: u64, data: &[u8]) -> Result<Plan, IoError> {
+        let adm = self.admit_write(lb0, data.len())?;
+        self.write_admitted(client, adm, data)
+    }
+
+    /// Execute a previously admitted write. Fails with
+    /// [`IoError::StaleEpoch`] if the placement epoch moved since
+    /// admission — the client must re-admit against the new map.
+    pub fn write_admitted(
+        &mut self,
+        client: usize,
+        adm: Admission,
+        data: &[u8],
+    ) -> Result<Plan, IoError> {
+        let current = self.placer.epoch();
+        if adm.epoch != current {
+            return Err(IoError::StaleEpoch { seen: adm.epoch, current });
+        }
+        let bs = self.block_size() as usize;
+        let (lb0, nblocks) = (adm.lb0, adm.nblocks);
+        if data.len() != nblocks as usize * bs {
+            return Err(IoError::BadLength { expected: nblocks as usize * bs, got: data.len() });
+        }
+
+        // Client module: plan against what this client can actually reach.
+        // An alive-but-unreachable copy costs one timed-out attempt before
+        // the degraded write proceeds without it (parking the copy); with
+        // retries disabled the request surfaces the partition instead.
+        let eff = self.effective_faults(client);
+        let eff_slots = self.placer.slot_write_faults(&eff);
+        let blocked = self.blocked_peer(&eff, lb0, nblocks);
+        if let Some(node) = blocked {
+            if self.cfg.max_retries == 0 {
+                return Err(IoError::Unreachable { node, attempts: 1 });
+            }
+        }
+
+        // Consistency module: atomically acquire the lock group, held for
+        // the duration of the (logically instantaneous) functional update.
+        let lock = self.locks.acquire(client, lb0, nblocks).map_err(IoError::Lock)?;
+        self.sample_locks();
+        // Protocol trace: the whole op shares one synthetic tick, in
+        // program order grant → write → surrenders → release.
+        let tick = if self.tracer.is_some() { Some(self.next_op_tick()) } else { None };
+        let actor = hb::client_actor(client);
+        if let Some(at) = tick {
+            self.trace_access(at, actor, hb::sios_cell(lb0), nblocks, AccessKind::Acquire);
+        }
+        let mut surrendered = if tick.is_some() { Some(Vec::new()) } else { None };
+        let result =
+            self.write_locked(client, &eff_slots, lb0, nblocks, data, surrendered.as_mut());
+        self.locks.release(lock);
+        if let Some(at) = tick {
+            if result.is_ok() {
+                self.trace_access(at, actor, hb::sios_cell(lb0), nblocks, AccessKind::Write);
+                for lb in surrendered.as_deref().unwrap_or(&[]) {
+                    self.trace_access(at, actor, hb::image_cell(*lb), 1, AccessKind::Write);
+                }
+            }
+            self.trace_access(at, actor, hb::sios_cell(lb0), nblocks, AccessKind::Release);
+        }
+        let body = match result {
+            Ok(body) => body,
+            Err(IoError::DataLoss { lb }) => return Err(self.classify_loss(client, lb)),
+            Err(e) => return Err(e),
+        };
+        self.sample_backlog();
+        self.high_water = self.high_water.max(lb0 + nblocks);
+
+        let ops = self.ops();
+        let mut chain = vec![ops.driver(client)];
+        if self.cfg.lock_broadcast {
+            chain.push(ops.lock_round(client));
+        }
+        if blocked.is_some() {
+            self.timeouts += 1;
+            self.failovers += 1;
+            chain.push(delay(self.cfg.request_timeout));
+        }
+        chain.push(body);
+        Ok(seq(chain))
+    }
+
+    /// Scheme-driver dispatch: hand the admitted, locked write to the
+    /// driver matching the layout's write scheme, planned against the
+    /// requesting client's effective fault set (slot view).
+    fn write_locked(
+        &mut self,
+        client: usize,
+        eff_slots: &FaultSet,
+        lb0: u64,
+        nblocks: u64,
+        data: &[u8],
+        surrendered: Option<&mut Vec<u64>>,
+    ) -> Result<Plan, IoError> {
+        let driver = scheme::driver_for(self.layout.write_scheme());
+        let mut ctx = WriteCtx {
+            layout: self.layout.as_ref(),
+            plane: &mut self.plane,
+            placer: &mut self.placer,
+            faults: eff_slots,
+            cluster: &self.cluster,
+            cfg: &self.cfg,
+            images: &mut self.images,
+            parked: &mut self.parked,
+            surrendered,
+        };
+        driver.write(&mut ctx, client, lb0, nblocks, data)
+    }
+
+    /// First alive-but-unreachable peer node involved in a request over
+    /// `[lb0, lb0+nblocks)`, if any — the node a timed-out attempt is
+    /// charged against. `eff` is the client's physical-space view.
+    pub(crate) fn blocked_peer(&self, eff: &FaultSet, lb0: u64, nblocks: u64) -> Option<usize> {
+        if self.partitions.is_empty() {
+            return None;
+        }
+        let storage = self.storage_faults();
+        for lb in lb0..lb0 + nblocks {
+            for a in self.copy_addrs(lb) {
+                let phys = self.placer.read_home(a).disk;
+                if eff.contains(phys)
+                    && !storage.contains(phys)
+                    && !self.plane.is_failed(phys)
+                    && !self.plane.is_offline(phys)
+                {
+                    return Some(self.cluster.node_of_disk(phys));
+                }
+            }
+        }
+        None
+    }
+
+    /// Refine a driver-level `DataLoss` into the client-visible error:
+    /// if every copy is gone from the *media*, it really is data loss;
+    /// if the bytes survive behind a partition, the request failed only
+    /// on connectivity and must say so (and must not hang).
+    pub(crate) fn classify_loss(&self, client: usize, lb: u64) -> IoError {
+        let storage_slots = self.placer.slot_read_faults(&self.storage_faults());
+        if matches!(self.layout.read_source(lb, &storage_slots), ReadSource::Lost) {
+            return IoError::DataLoss { lb };
+        }
+        let attempts = 1 + self.cfg.max_retries;
+        let mut addrs = vec![self.layout.locate_data(lb)];
+        addrs.extend(self.layout.locate_images(lb));
+        for a in addrs {
+            let node = self.cluster.node_of_disk(self.placer.read_home(a).disk);
+            if !self.partitions.reachable(client, node) {
+                return IoError::Unreachable { node, attempts };
+            }
+        }
+        // Unreachable through parity placement only.
+        IoError::Unreachable { node: client, attempts }
+    }
+
+    /// Read `nblocks` logical blocks starting at `lb0` for node `client`.
+    /// Returns the bytes (already materialized from the functional plane)
+    /// and the timing plan.
+    pub fn read(
+        &mut self,
+        client: usize,
+        lb0: u64,
+        nblocks: u64,
+    ) -> Result<(Vec<u8>, Plan), IoError> {
+        let adm = self.admit_read(lb0, nblocks)?;
+        self.read_admitted(client, adm)
+    }
+
+    /// Execute a previously admitted read. A stamp one epoch behind is
+    /// accepted while that epoch's migration is still in flight (pending
+    /// blocks are served from their old home — the stale epoch's view);
+    /// anything older fails with [`IoError::StaleEpoch`].
+    pub fn read_admitted(
+        &mut self,
+        client: usize,
+        adm: Admission,
+    ) -> Result<(Vec<u8>, Plan), IoError> {
+        let current = self.placer.epoch();
+        let stale_ok = adm.epoch + 1 == current && self.placer.migration().is_some();
+        if adm.epoch != current && !stale_ok {
+            return Err(IoError::StaleEpoch { seen: adm.epoch, current });
+        }
+        let (lb0, nblocks) = (adm.lb0, adm.nblocks);
+        let bs = self.block_size() as usize;
+        let mut out = vec![0u8; nblocks as usize * bs];
+
+        // Client module: route around everything this client cannot reach.
+        let eff = self.effective_faults(client);
+        let eff_slots = self.placer.slot_read_faults(&eff);
+        let storage = self.storage_faults();
+
+        // Partition: blocks with a usable primary are balanced at run
+        // granularity; the rest fall back to the degraded paths. A
+        // primary that is alive but behind a partition costs one timed-out
+        // attempt before the client retries against a replica.
+        let mut healthy = Vec::new();
+        let mut forced_images = Vec::new();
+        let mut reconstructs = Vec::new();
+        let mut blocked: Option<usize> = None;
+        for lb in lb0..lb0 + nblocks {
+            let d = self.layout.locate_data(lb);
+            if !eff_slots.contains(d.disk) {
+                healthy.push((lb, d));
+                continue;
+            }
+            let serving = self.placer.read_home(d).disk;
+            if !storage.contains(serving)
+                && !self.plane.is_failed(serving)
+                && !self.plane.is_offline(serving)
+            {
+                blocked.get_or_insert(self.cluster.node_of_disk(serving));
+            }
+            match self.layout.read_source(lb, &eff_slots) {
+                ReadSource::Primary(a) | ReadSource::Image(a) => forced_images.push((lb, a)),
+                ReadSource::Reconstruct { siblings, parity } => {
+                    reconstructs.push((lb, siblings, parity))
+                }
+                ReadSource::Lost => return Err(self.classify_loss(client, lb)),
+            }
+        }
+        if let Some(node) = blocked {
+            if self.cfg.max_retries == 0 {
+                return Err(IoError::Unreachable { node, attempts: 1 });
+            }
+            self.timeouts += 1;
+            self.failovers += 1;
+        }
+
+        // Front end: run-level replica selection for the healthy primaries.
+        let block_size = self.block_size();
+        let mut physical: Vec<(usize, u64, u64, Vec<u64>)> = Vec::new(); // slot disk, start, len, lbs
+        for run in merge_runs(healthy) {
+            let choice =
+                self.balancer.balance_run(self.layout.as_ref(), &eff_slots, block_size, &run);
+            match choice {
+                Some((disk, start)) => physical.push((disk, start, run.len(), run.lbs)),
+                None => physical.push((run.disk, run.start, run.len(), run.lbs)),
+            }
+        }
+
+        // Functional reads (slot addresses resolved per block through the
+        // placer, so pending-migration blocks come from their old home).
+        for (disk, start, _, lbs) in &physical {
+            for (i, &lb) in lbs.iter().enumerate() {
+                let off = (lb - lb0) as usize * bs;
+                let h = self.placer.read_home(raidx_core::BlockAddr::new(*disk, start + i as u64));
+                self.plane.read(h.disk, h.block, &mut out[off..off + bs])?;
+            }
+        }
+        for &(lb, a) in &forced_images {
+            let off = (lb - lb0) as usize * bs;
+            let h = self.placer.read_home(a);
+            self.plane.read(h.disk, h.block, &mut out[off..off + bs])?;
+        }
+        for (lb, siblings, parity) in &reconstructs {
+            let off = (*lb - lb0) as usize * bs;
+            let ph = self.placer.read_home(*parity);
+            let mut acc = self.plane.read_owned(ph.disk, ph.block)?;
+            for (_, a) in siblings {
+                let h = self.placer.read_home(*a);
+                let sib = self.plane.read_owned(h.disk, h.block)?;
+                xor_into(&mut acc, &sib);
+            }
+            out[off..off + bs].copy_from_slice(&acc);
+        }
+
+        // Timing plan (runs charged to the disk serving their first block).
+        let ops = self.ops();
+        let mut branches: Vec<Plan> = Vec::new();
+        for (disk, start, len, _) in &physical {
+            let h = self.placer.read_home(raidx_core::BlockAddr::new(*disk, *start));
+            branches.push(ops.read_run(client, h.disk, h.block, *len));
+        }
+        for run in merge_runs(forced_images) {
+            let h = self.placer.read_home(raidx_core::BlockAddr::new(run.disk, run.start));
+            branches.push(ops.read_run(client, h.disk, h.block, run.len()));
+        }
+        for (_, siblings, parity) in &reconstructs {
+            let mut reads: Vec<Plan> = siblings
+                .iter()
+                .map(|(_, a)| {
+                    let h = self.placer.read_home(*a);
+                    ops.read_run(client, h.disk, h.block, 1)
+                })
+                .collect();
+            let hp = self.placer.read_home(*parity);
+            reads.push(ops.read_run(client, hp.disk, hp.block, 1));
+            let n_in = reads.len() as u64 + 1;
+            branches.push(seq(vec![par(reads), ops.xor(client, n_in * bs as u64)]));
+        }
+        let mut chain = vec![ops.driver(client)];
+        if blocked.is_some() {
+            // The failed attempt against the unresponsive primary: the
+            // client waits out the full request timeout before retrying
+            // against the replica — failover is bounded, never a hang.
+            chain.push(delay(self.cfg.request_timeout));
+        }
+        chain.push(par(branches));
+        if self.tracer.is_some() {
+            // Reads are lock-free by design; the trace point lets the
+            // analyzer's (off-by-default) read/write auditor see them.
+            let at = self.next_op_tick();
+            self.trace_access(
+                at,
+                hb::client_actor(client),
+                hb::sios_cell(lb0),
+                nblocks,
+                AccessKind::Read,
+            );
+        }
+        Ok((out, seq(chain)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::CddConfig;
+    use crate::error::IoError;
+    use crate::testkit::{shape, shape_with};
+    use raidx_core::Arch;
+    use sim_core::SimDuration;
+
+    /// Satellite: a partitioned peer must surface a *distinct* error —
+    /// not a hang, not `DataLoss` — when retries are disabled.
+    #[test]
+    fn partition_with_retries_disabled_surfaces_unreachable() {
+        let cfg = CddConfig { max_retries: 0, ..CddConfig::default() };
+        let (_engine, mut sys) = shape_with(4, 1, 8 << 20, Arch::RaidX, cfg);
+        let bs = sys.block_size() as usize;
+        let lb = (0..64).find(|&lb| sys.layout().locate_data(lb).disk == 3).expect("lb on disk 3");
+        sys.write(0, lb, &vec![9u8; bs]).expect("healthy write");
+        sys.partition_node(3);
+        match sys.read(0, lb, 1) {
+            Err(IoError::Unreachable { node, attempts }) => {
+                assert_eq!(node, 3);
+                assert_eq!(attempts, 1, "no retries configured, one attempt only");
+            }
+            other => panic!("expected Unreachable, got {other:?}"),
+        }
+        match sys.write(0, lb, &vec![8u8; bs]) {
+            Err(IoError::Unreachable { node, .. }) => assert_eq!(node, 3),
+            other => panic!("expected Unreachable, got {other:?}"),
+        }
+        // The partitioned node itself still reaches its local disk.
+        let (got, _) = sys.read(3, lb, 1).expect("local read survives partition");
+        assert_eq!(got, vec![9u8; bs]);
+    }
+
+    /// Satellite: with retries enabled the client fails over to the
+    /// mirror replica, paying exactly one bounded request timeout —
+    /// never an unbounded wait.
+    #[test]
+    fn partition_failover_is_bounded_by_the_request_timeout() {
+        let (mut engine, mut sys) = shape(4, 1, 8 << 20, Arch::RaidX);
+        let bs = sys.block_size() as usize;
+        let lb = (0..64).find(|&lb| sys.layout().locate_data(lb).disk == 3).expect("lb on disk 3");
+        sys.write(0, lb, &vec![5u8; bs]).expect("healthy write");
+        engine.run().expect("drain seed");
+        sys.partition_node(3);
+        let t0 = engine.now();
+        let (got, plan) = sys.read(0, lb, 1).expect("failover read");
+        assert_eq!(got, vec![5u8; bs], "replica must serve the bytes");
+        assert_eq!(sys.timeouts(), 1);
+        assert_eq!(sys.failovers(), 1);
+        engine.spawn_job("failover-read", plan);
+        engine.run().expect("failover read run");
+        let elapsed = engine.now().since(t0);
+        let timeout = sys.cfg.request_timeout;
+        assert!(elapsed >= timeout, "failover must pay the timed-out attempt");
+        assert!(
+            elapsed < SimDuration(timeout.0 * 2),
+            "failover took {elapsed:?}, expected within 2x the {timeout:?} timeout"
+        );
+    }
+
+    /// A degraded write under a partition parks the unreachable copy and
+    /// still acknowledges; the parked ledger drives the later resync.
+    #[test]
+    fn degraded_write_parks_unreachable_copies() {
+        let (_engine, mut sys) = shape(4, 1, 8 << 20, Arch::RaidX);
+        let bs = sys.block_size() as usize;
+        sys.partition_node(2);
+        let lb = (0..64)
+            .find(|&lb| {
+                sys.layout().locate_images(lb).iter().any(|a| a.disk == 2)
+                    && sys.layout().locate_data(lb).disk != 2
+            })
+            .expect("lb imaged on disk 2");
+        sys.write(0, lb, &vec![0xEE; bs]).expect("degraded write");
+        assert!(sys.parked_blocks(2) > 0, "unreachable image must be parked");
+        let (got, _) = sys.read(0, lb, 1).expect("read around the partition");
+        assert_eq!(got, vec![0xEE; bs]);
+    }
+}

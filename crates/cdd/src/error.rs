@@ -44,6 +44,15 @@ pub enum IoError {
         /// Attempts made (1 initial + retries) before giving up.
         attempts: u32,
     },
+    /// The request was admitted under a placement epoch the array has
+    /// since moved past (writes must target the current epoch; reads may
+    /// trail by exactly one while that epoch's migration drains).
+    StaleEpoch {
+        /// Epoch the request was admitted under.
+        seen: u64,
+        /// Current placement epoch.
+        current: u64,
+    },
     /// Functional-plane failure (invariant violation).
     Disk(DiskError),
 }
@@ -61,6 +70,9 @@ impl std::fmt::Display for IoError {
             IoError::Lock(c) => write!(f, "lock conflict with node {}", c.holder),
             IoError::Unreachable { node, attempts } => {
                 write!(f, "node {node} unreachable after {attempts} attempts")
+            }
+            IoError::StaleEpoch { seen, current } => {
+                write!(f, "admitted under epoch {seen}, array is at epoch {current}")
             }
             IoError::Disk(e) => write!(f, "data plane: {e}"),
         }

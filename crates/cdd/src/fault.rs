@@ -79,6 +79,31 @@ pub enum FaultEvent {
         /// Node issuing the recovery traffic.
         client: usize,
     },
+    /// Hot-add a physical disk as a spare (appends a roster epoch; the
+    /// disk serves no placement until a later remove promotes it).
+    DiskAdd {
+        /// Node driving the metadata transition.
+        client: usize,
+    },
+    /// Retire an active disk onto the first registered spare. Placement
+    /// flips immediately; the migration is deliberately left in flight so
+    /// subsequent workload ops exercise mid-rebalance reads and
+    /// stale-epoch admission. The workload (or scenario teardown) drains
+    /// it via [`IoSystem::rebalance`].
+    DiskRemove {
+        /// Global physical disk number (must be Active).
+        disk: usize,
+        /// Node driving the transition.
+        client: usize,
+    },
+    /// Replace an active disk with a freshly hot-added blank one:
+    /// `DiskAdd` + `DiskRemove` as a single event.
+    DiskReplace {
+        /// Global physical disk number to retire.
+        disk: usize,
+        /// Node driving the transition.
+        client: usize,
+    },
 }
 
 /// Executes a [`FaultPlan`] of [`FaultEvent`]s against an engine and an
@@ -184,6 +209,15 @@ impl FaultInjector {
                 }
             }
             FaultEvent::NodeCrash { node } => sys.crash_node(node),
+            FaultEvent::DiskAdd { client } => {
+                sys.add_disk(engine, client)?;
+            }
+            FaultEvent::DiskRemove { disk, client } => {
+                sys.remove_disk(client, disk)?;
+            }
+            FaultEvent::DiskReplace { disk, client } => {
+                sys.replace_disk(engine, client, disk)?;
+            }
             FaultEvent::NodeRestart { node, client } => {
                 sys.heal_node(node);
                 for disk in 0..sys.cluster.ndisks() {

@@ -125,6 +125,25 @@ impl ImageQueue {
         removed
     }
 
+    /// Retarget every buffered image aimed at physical disk `old` to the
+    /// same block on physical disk `new`. Called by an epoch transition:
+    /// the image bytes are already durable on the functional plane (and
+    /// migrate with the pending set), but the deferred flush must charge
+    /// the slot's *new* home, not a retired disk. Returns the number of
+    /// entries retargeted.
+    pub fn retarget_disk(&mut self, old: usize, new: usize) -> usize {
+        let mut n = 0;
+        for entries in self.groups.values_mut() {
+            for p in entries.iter_mut() {
+                if p.addr.disk == old {
+                    p.addr.disk = new;
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
     /// Re-home every image buffered by crashed node `node`: the flush
     /// would ship from a dead machine, so each entry's client becomes
     /// `reroute(entry)` (typically the target disk's owner, which holds
@@ -364,5 +383,64 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert_eq!(q.drain_all().len(), 1);
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn retarget_disk_moves_entries_without_disturbing_groups() {
+        let mut q = ImageQueue::new();
+        q.push(img(0, 0, 2, 10), Some((5, 3)));
+        q.push(img(0, 1, 3, 11), Some((5, 3)));
+        assert_eq!(q.retarget_disk(2, 7), 1);
+        assert_eq!(q.blocks_on_disk(2), 0);
+        assert_eq!(q.blocks_on_disk(7), 1);
+        assert_eq!(q.len(), 2, "retargeting must not change accounting");
+        // The group still completes on its third member and flushes with
+        // the rewritten address.
+        let ready = q.push(img(0, 2, 3, 12), Some((5, 3)));
+        assert_eq!(ready.len(), 3);
+        assert_eq!(ready[0].addr, BlockAddr::new(7, 10));
+    }
+
+    #[test]
+    fn retarget_of_a_drained_disk_is_a_noop() {
+        let mut q = ImageQueue::new();
+        q.push(img(0, 0, 4, 9), Some((0, 8)));
+        assert_eq!(q.remove_disk(4).len(), 1);
+        assert_eq!(q.retarget_disk(4, 5), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn group_buffered_across_remove_and_readd_of_the_same_disk_id() {
+        // A group holds entries for disks 1 and 2; disk 2 leaves the
+        // array (its entries drain), then a *new* physical disk reuses
+        // nothing — but a buggy queue that kept stale per-disk indexes
+        // could double-count if id 2 later buffers fresh entries.
+        let mut q = ImageQueue::new();
+        q.push(img(0, 0, 1, 10), Some((4, 3)));
+        q.push(img(0, 1, 2, 11), Some((4, 3)));
+        assert_eq!(q.remove_disk(2).len(), 1);
+        assert_eq!(q.len(), 1);
+        // Fresh traffic addressed to disk id 2 again (e.g. after the
+        // roster re-binds the slot) must account from zero.
+        q.push(img(0, 1, 2, 20), Some((4, 3)));
+        assert_eq!(q.blocks_on_disk(2), 1);
+        let ready = q.push(img(0, 2, 1, 12), Some((4, 3)));
+        assert_eq!(ready.len(), 3);
+        assert_eq!(ready.iter().filter(|p| p.addr.disk == 2).count(), 1);
+        assert_eq!(ready.iter().find(|p| p.lb == 1).map(|p| p.addr.block), Some(20));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn retarget_then_remove_drains_at_the_new_home_only() {
+        let mut q = ImageQueue::new();
+        q.push(img(0, 0, 3, 10), Some((0, 8)));
+        q.push(img(0, 9, 3, 12), Some((1, 8)));
+        assert_eq!(q.retarget_disk(3, 6), 2);
+        assert!(q.remove_disk(3).is_empty(), "old id no longer owns the entries");
+        let drained = q.remove_disk(6);
+        assert_eq!(drained.len(), 2);
+        assert!(q.is_empty());
     }
 }

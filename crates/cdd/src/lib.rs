@@ -22,10 +22,15 @@
 //! |---|---|
 //! | [`frontend`] | front end / admission: range + length validation (shared with `nfs_sim`), run coalescing, read replica selection |
 //! | [`locks`] | consistency module: the replicated lock-group table |
-//! | [`scheme`] | scheme drivers: one [`scheme::SchemeDriver`] per [`raidx_core::WriteScheme`] (plain / mirror / parity) |
+//! | [`scheme`] | scheme drivers: one [`scheme::SchemeDriver`] per [`raidx_core::WriteScheme`] (plain / mirror; parity in [`parity`]) |
 //! | [`image_queue`] | data plane write-behind: the bounded OSM [`image_queue::ImageQueue`] |
-//! | [`system`] | the [`IoSystem`] orchestrator binding the layers |
-//! | [`maintenance`] | scrub, rebuild and transient resync (outside the request pipeline) |
+//! | [`placer`] | epoch-versioned slot→physical placement ([`placer::Placer`] over [`cluster::ClusterMap`]) |
+//! | [`system`] | the [`IoSystem`] state — configuration, planes, placer, ledgers |
+//! | [`datapath`] | the request pipeline: admission stamping, locked writes, translated reads |
+//! | [`membership`] | fault injection hooks and epoch transitions (add/remove/replace disks) |
+//! | [`rebalance`] | incremental migration draining an epoch transition's pending set |
+//! | [`maintenance`] | scrub and resumable rebuild (outside the request pipeline) |
+//! | [`resync`] | transient recovery: restoring the blocks parked by degraded writes |
 //! | [`fault`] | deterministic mid-workload fault injection ([`FaultInjector`]) |
 //!
 //! Supporting modules: [`config`] (tunables, including the
@@ -33,18 +38,25 @@
 //! shared [`IoError`]), [`ops`] (plan builders), [`runs`] (coalescing),
 //! [`store`] (the [`BlockStore`] abstraction over CDD and NFS),
 //! [`scenarios`] + [`proto`] (model-checking scenarios and their
-//! explorable compilation) and [`testkit`] (shared test/bench
+//! explorable compilation, micro-steps in the private `compile` module) and [`testkit`] (shared test/bench
 //! constructors).
 
+mod compile;
 pub mod config;
+pub mod datapath;
 pub mod error;
 pub mod fault;
 pub mod frontend;
 pub mod image_queue;
 pub mod locks;
 pub mod maintenance;
+pub mod membership;
 pub mod ops;
+pub mod parity;
+pub mod placer;
 pub mod proto;
+pub mod rebalance;
+pub mod resync;
 pub mod runs;
 pub mod scenarios;
 pub mod scheme;
@@ -55,11 +67,13 @@ pub mod testkit;
 pub use config::{CddConfig, ReadBalance};
 pub use error::IoError;
 pub use fault::{FaultEvent, FaultInjector};
-pub use frontend::ReadBalancer;
+pub use frontend::{Admission, ReadBalancer};
 pub use image_queue::{ImageQueue, PendingImage};
 pub use locks::{LockConflict, LockEvent, LockGroupTable, LockHandle, LockRecord, ReleaseError};
 pub use ops::OpBuilder;
+pub use placer::{Migration, Placer};
 pub use proto::{CddModel, Defect, HistOp, OpRecord, ProtoOp, ProtoState, Scenario};
+pub use rebalance::RebalanceOutcome;
 pub use runs::{merge_runs, Run};
 pub use scheme::{driver_for, SchemeDriver, WriteCtx};
 pub use store::BlockStore;

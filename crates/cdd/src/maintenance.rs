@@ -1,16 +1,11 @@
-//! Array maintenance: redundancy scrub, disk rebuild and transient
-//! recovery.
+//! Array maintenance: redundancy scrub and resumable disk rebuild.
 //!
-//! All of it walks the written region of the array from outside the
-//! request pipeline — scrub audits the functional plane's redundancy
-//! relations, rebuild restores a replaced disk from surviving copies,
-//! and the transient path ([`IoSystem::recover_disk_transient`] /
-//! [`IoSystem::resync_parked`]) restores only the blocks degraded writes
-//! *parked* while a disk was offline or unreachable — the paper's
-//! Section 6 distinction: a transient failure recovers from local state
-//! in seconds, a permanent one pays a full rebuild.
-
-use std::collections::BTreeSet;
+//! Both walk the written region of the array from outside the request
+//! pipeline — scrub audits the functional plane's redundancy relations,
+//! rebuild restores a replaced disk from surviving copies. The cheap
+//! transient path lives in [`crate::resync`]: the paper's Section 6
+//! distinction, where a transient failure recovers from local state in
+//! seconds while a permanent one pays a full rebuild.
 
 use cluster::xor_into;
 use raidx_core::fault::{plan_rebuild, RebuildSource};
@@ -45,19 +40,6 @@ impl RebuildOutcome {
     }
 }
 
-/// How one resynced block was obtained (plan building).
-enum ResyncAction {
-    /// Straight copy from a surviving replica.
-    Copy {
-        src: BlockAddr,
-        dst: BlockAddr,
-    },
-    Xor {
-        inputs: Vec<BlockAddr>,
-        dst: BlockAddr,
-    },
-}
-
 impl IoSystem {
     /// Scrub: audit that every written block's redundancy is consistent
     /// on the functional plane — mirror images byte-identical to their
@@ -72,21 +54,31 @@ impl IoSystem {
         let bs = self.block_size() as usize;
         let mut audited = 0u64;
         let width = self.layout.stripe_width() as u64;
-        let storage = self.storage_faults();
+        // Slot view of the media faults; also covers a migrating slot
+        // whose vacated home is unreadable (those copies are known-good
+        // via redundancy but not auditable in place until the rebalance
+        // drains).
+        let storage = self.placer.slot_read_faults(&self.storage_faults());
         let parked = self.parked.clone();
-        let is_parked = |disk: usize, lb: u64| parked.get(&disk).is_some_and(|s| s.contains(&lb));
+        // The parked ledger is keyed by physical disk; a slot-space copy
+        // checks the entry of its *current* home (where resync restores).
+        let is_parked = |sys: &Self, slot: usize, lb: u64| {
+            parked.get(&sys.placer.phys(slot)).is_some_and(|s| s.contains(&lb))
+        };
         for lb in 0..self.high_water {
             let d = self.layout.locate_data(lb);
-            if storage.contains(d.disk) || is_parked(d.disk, lb) {
+            if storage.contains(d.disk) || is_parked(self, d.disk, lb) {
                 continue;
             }
-            let data = self.plane.read_owned(d.disk, d.block)?;
+            let dh = self.placer.read_home(d);
+            let data = self.plane.read_owned(dh.disk, dh.block)?;
             // Mirror images must match exactly.
             for img in self.layout.locate_images(lb) {
-                if storage.contains(img.disk) || is_parked(img.disk, lb) {
+                if storage.contains(img.disk) || is_parked(self, img.disk, lb) {
                     continue;
                 }
-                let copy = self.plane.read_owned(img.disk, img.block)?;
+                let ih = self.placer.read_home(img);
+                let copy = self.plane.read_owned(ih.disk, ih.block)?;
                 if copy != data {
                     return Err(IoError::DataLoss { lb });
                 }
@@ -102,17 +94,19 @@ impl IoSystem {
                     for member in self.layout.stripe_blocks(s) {
                         let a = self.layout.locate_data(member);
                         if storage.contains(a.disk)
-                            || is_parked(a.disk, member)
-                            || is_parked(p.disk, member)
+                            || is_parked(self, a.disk, member)
+                            || is_parked(self, p.disk, member)
                         {
                             complete = false;
                             break;
                         }
-                        let bytes = self.plane.read_owned(a.disk, a.block)?;
+                        let ah = self.placer.read_home(a);
+                        let bytes = self.plane.read_owned(ah.disk, ah.block)?;
                         xor_into(&mut acc, &bytes);
                     }
                     if complete {
-                        let parity = self.plane.read_owned(p.disk, p.block)?;
+                        let ph = self.placer.read_home(p);
+                        let parity = self.plane.read_owned(ph.disk, ph.block)?;
                         if parity != acc {
                             return Err(IoError::DataLoss { lb: s * width });
                         }
@@ -150,15 +144,19 @@ impl IoSystem {
         step_limit: Option<usize>,
     ) -> Result<RebuildOutcome, IoError> {
         assert!(self.faults.contains(disk), "rebuilding a healthy disk");
-        let mut remaining = self.storage_faults();
-        remaining.remove(disk);
-        let steps = plan_rebuild(self.layout.as_ref(), disk, &remaining, self.high_water)
+        // Rebuild planning runs in slot space; `disk` is the physical
+        // target, which must be serving a slot (Active) to be rebuilt.
+        let slot = self.placer.map().slot_of(disk).expect("rebuilding a disk that serves no slot"); // lint-ok(no-unwrap): operator-error invariant — callers rebuild active disks only
+        let mut remaining = self.placer.slot_read_faults(&self.storage_faults());
+        remaining.remove(slot);
+        let steps = plan_rebuild(self.layout.as_ref(), slot, &remaining, self.high_water)
             .map_err(|lost| IoError::DataLoss { lb: lost[0] })?;
         if self.plane.is_failed(disk) {
             self.plane.replace(disk);
         }
         let limit = step_limit.unwrap_or(usize::MAX).min(steps.len());
-        let sources = self.storage_faults(); // still contains `disk`
+        // Still contains `slot`: sources never read the rebuild target.
+        let sources = self.placer.slot_read_faults(&self.storage_faults());
 
         let bs = self.block_size() as usize;
         let mut restored = 0usize;
@@ -175,38 +173,42 @@ impl IoSystem {
                             return Err(IoError::DataLoss { lb: *lb })
                         }
                     };
-                    self.plane.read_owned(src.disk, src.block)?
+                    let h = self.placer.read_home(src);
+                    self.plane.read_owned(h.disk, h.block)?
                 }
                 RebuildSource::Xor { siblings, parity } => {
                     let mut acc = vec![0u8; bs];
                     for (_, a) in siblings {
-                        let b = self.plane.read_owned(a.disk, a.block)?;
+                        let h = self.placer.read_home(*a);
+                        let b = self.plane.read_owned(h.disk, h.block)?;
                         xor_into(&mut acc, &b);
                     }
                     if let Some(p) = parity {
-                        let b = self.plane.read_owned(p.disk, p.block)?;
+                        let h = self.placer.read_home(*p);
+                        let b = self.plane.read_owned(h.disk, h.block)?;
                         xor_into(&mut acc, &b);
                     }
                     acc
                 }
             };
-            let existing = self.plane.read_owned(step.target.disk, step.target.block)?;
+            let existing = self.plane.read_owned(disk, step.target.block)?;
             if existing == bytes {
                 skipped += 1;
                 wrote.push(false);
             } else {
-                self.plane.write(step.target.disk, step.target.block, &bytes)?;
+                self.plane.write(disk, step.target.block, &bytes)?;
                 restored += 1;
                 wrote.push(true);
             }
         }
         let ops = self.ops();
+        let placer = &self.placer;
         let mut step_plans = Vec::with_capacity(restored);
         for (step, wrote) in steps.iter().take(limit).zip(&wrote) {
             if !wrote {
                 continue; // verified in place: no rebuild I/O to charge
             }
-            let write = ops.write_run(client, step.target.disk, step.target.block, 1, false);
+            let write = ops.write_run(client, disk, step.target.block, 1, false);
             let plan = match &step.source {
                 RebuildSource::Copy(lb) => {
                     let src = match self.layout.read_source(*lb, &sources) {
@@ -215,15 +217,20 @@ impl IoSystem {
                             unreachable!("restoration pass above already resolved this source")
                         }
                     };
-                    seq(vec![ops.read_run(client, src.disk, src.block, 1), write])
+                    let h = placer.read_home(src);
+                    seq(vec![ops.read_run(client, h.disk, h.block, 1), write])
                 }
                 RebuildSource::Xor { siblings, parity } => {
                     let mut reads: Vec<Plan> = siblings
                         .iter()
-                        .map(|(_, a)| ops.read_run(client, a.disk, a.block, 1))
+                        .map(|(_, a)| {
+                            let h = placer.read_home(*a);
+                            ops.read_run(client, h.disk, h.block, 1)
+                        })
                         .collect();
                     if let Some(p) = parity {
-                        reads.push(ops.read_run(client, p.disk, p.block, 1));
+                        let h = placer.read_home(*p);
+                        reads.push(ops.read_run(client, h.disk, h.block, 1));
                     }
                     let n = reads.len() as u64 + 1;
                     seq(vec![par(reads), ops.xor(client, n * bs as u64), write])
@@ -244,124 +251,29 @@ impl IoSystem {
         Ok(RebuildOutcome { plan, restored, skipped, finished })
     }
 
-    /// Bring a transiently-offline disk back: its contents survived, so
-    /// recovery only resyncs the blocks degraded writes parked while it
-    /// was away — the paper's cheap transient path, in contrast to the
-    /// full [`IoSystem::rebuild_disk`] a permanent failure pays.
-    pub fn recover_disk_transient(
-        &mut self,
-        client: usize,
-        disk: usize,
-    ) -> Result<(Plan, usize), IoError> {
-        assert!(self.offline.contains(disk), "disk is not transiently offline");
-        self.plane.set_offline(disk, false);
-        self.offline.remove(disk);
-        self.resync_parked(client, disk)
-    }
-
-    /// Restore every copy parked against online `disk` from surviving
-    /// replicas (after a transient outage or a healed partition).
-    /// Returns the timing plan and the number of blocks restored.
-    pub fn resync_parked(&mut self, client: usize, disk: usize) -> Result<(Plan, usize), IoError> {
-        assert!(
-            !self.faults.contains(disk) && !self.offline.contains(disk),
-            "resync target must be online"
-        );
-        let lbs: Vec<u64> =
-            self.parked.remove(&disk).map(|s| s.into_iter().collect()).unwrap_or_default();
-        if lbs.is_empty() {
-            return Ok((Plan::Noop, 0));
-        }
-        // Sources must avoid media faults *and* the target's stale copies.
-        let mut avoid = self.storage_faults();
-        avoid.insert(disk);
-
-        let mut actions: Vec<ResyncAction> = Vec::new();
-        let mut parity_stripes: BTreeSet<u64> = BTreeSet::new();
-        for &lb in &lbs {
-            let d = self.layout.locate_data(lb);
-            if d.disk == disk {
-                let (bytes, inputs) = self.fetch_block(lb, &avoid)?;
-                self.plane.write(d.disk, d.block, &bytes)?;
-                actions.push(match inputs.as_slice() {
-                    [src] => ResyncAction::Copy { src: *src, dst: d },
-                    _ => ResyncAction::Xor { inputs, dst: d },
-                });
-            }
-            for img in self.layout.locate_images(lb) {
-                if img.disk != disk {
-                    continue;
-                }
-                let (bytes, inputs) = self.fetch_block(lb, &avoid)?;
-                self.plane.write(img.disk, img.block, &bytes)?;
-                actions.push(match inputs.as_slice() {
-                    [src] => ResyncAction::Copy { src: *src, dst: img },
-                    _ => ResyncAction::Xor { inputs, dst: img },
-                });
-            }
-            if let Some(p) = self.layout.locate_parity(lb) {
-                let (s, _) = self.layout.stripe_of(lb);
-                if p.disk == disk && parity_stripes.insert(s) {
-                    // Recompute the stripe's parity from its members.
-                    let bs = self.block_size() as usize;
-                    let mut acc = vec![0u8; bs];
-                    let mut inputs = Vec::new();
-                    for member in self.layout.stripe_blocks(s) {
-                        let (bytes, ins) = self.fetch_block(member, &avoid)?;
-                        xor_into(&mut acc, &bytes);
-                        inputs.extend(ins);
-                    }
-                    self.plane.write(p.disk, p.block, &acc)?;
-                    actions.push(ResyncAction::Xor { inputs, dst: p });
-                }
-            }
-        }
-
-        let bs = self.block_size() as usize;
-        let ops = self.ops();
-        let step_plans: Vec<Plan> = actions
-            .iter()
-            .map(|a| match a {
-                ResyncAction::Copy { src, dst } => seq(vec![
-                    ops.read_run(client, src.disk, src.block, 1),
-                    ops.write_run(client, dst.disk, dst.block, 1, false),
-                ]),
-                ResyncAction::Xor { inputs, dst } => {
-                    let reads: Vec<Plan> =
-                        inputs.iter().map(|a| ops.read_run(client, a.disk, a.block, 1)).collect();
-                    let n = reads.len() as u64 + 1;
-                    seq(vec![
-                        par(reads),
-                        ops.xor(client, n * bs as u64),
-                        ops.write_run(client, dst.disk, dst.block, 1, false),
-                    ])
-                }
-            })
-            .collect();
-        let restored = step_plans.len();
-        let batched: Vec<Plan> = step_plans.chunks(32).map(|c| par(c.to_vec())).collect();
-        let plan = if batched.is_empty() { Plan::Noop } else { seq(batched) };
-        Ok((plan, restored))
-    }
-
     /// Materialize logical block `lb` from the best source outside
-    /// `avoid`, returning the bytes and the physical blocks read.
-    fn fetch_block(
+    /// `avoid` (slot space), returning the bytes and the *physical*
+    /// blocks read — layout chooses sources among slots, the placer
+    /// translates each to its current serving disk.
+    pub(crate) fn fetch_block(
         &mut self,
         lb: u64,
         avoid: &FaultSet,
     ) -> Result<(Vec<u8>, Vec<BlockAddr>), IoError> {
         match self.layout.read_source(lb, avoid) {
             ReadSource::Primary(a) | ReadSource::Image(a) => {
-                Ok((self.plane.read_owned(a.disk, a.block)?, vec![a]))
+                let h = self.placer.read_home(a);
+                Ok((self.plane.read_owned(h.disk, h.block)?, vec![h]))
             }
             ReadSource::Reconstruct { siblings, parity } => {
-                let mut acc = self.plane.read_owned(parity.disk, parity.block)?;
-                let mut inputs = vec![parity];
+                let ph = self.placer.read_home(parity);
+                let mut acc = self.plane.read_owned(ph.disk, ph.block)?;
+                let mut inputs = vec![ph];
                 for (_, a) in siblings {
-                    let b = self.plane.read_owned(a.disk, a.block)?;
+                    let h = self.placer.read_home(a);
+                    let b = self.plane.read_owned(h.disk, h.block)?;
                     xor_into(&mut acc, &b);
-                    inputs.push(a);
+                    inputs.push(h);
                 }
                 Ok((acc, inputs))
             }
@@ -411,40 +323,6 @@ mod tests {
 
         let (got, _) = sys.read(1, 0, nblocks).expect("post-rebuild read");
         assert_eq!(got, data);
-        assert!(sys.scrub().expect("scrub") > 0);
-    }
-
-    /// A transient outage keeps the disk's contents: recovery resyncs
-    /// only the blocks that went stale (parked) while it was offline.
-    #[test]
-    fn transient_recovery_resyncs_only_parked_blocks() {
-        let (mut engine, mut sys) = shape(4, 1, 8 << 20, Arch::RaidX);
-        let bs = sys.block_size() as usize;
-        let nblocks = 24u64;
-        let before: Vec<u8> = vec![0x42; nblocks as usize * bs];
-        sys.write(0, 0, &before).expect("healthy seed");
-        sys.fail_disk_transient(1);
-
-        // Degraded overwrite of a prefix: copies on disk 1 get parked.
-        let after: Vec<u8> = vec![0x91; 8 * bs];
-        sys.write(0, 0, &after).expect("degraded write");
-        let parked = sys.parked_blocks(1);
-        assert!(parked > 0, "degraded writes must park the offline copies");
-
-        // Reads already see the new bytes via the surviving copies.
-        let (got, _) = sys.read(2, 0, 8).expect("degraded read");
-        assert_eq!(got, after);
-
-        let (plan, resynced) = sys.recover_disk_transient(0, 1).expect("recovery");
-        assert_eq!(resynced, parked, "resync must cover exactly the parked blocks");
-        assert_eq!(sys.parked_blocks(1), 0);
-        assert!(sys.offline_disks().is_empty());
-        engine.spawn_job("resync", plan);
-        engine.run().expect("resync timing");
-
-        let (got, _) = sys.read(2, 0, nblocks).expect("post-recovery read");
-        assert_eq!(&got[..8 * bs], &after[..]);
-        assert_eq!(&got[8 * bs..], &before[8 * bs..]);
         assert!(sys.scrub().expect("scrub") > 0);
     }
 }

@@ -1,0 +1,181 @@
+//! The RAID-5 parity scheme driver, split out of [`crate::scheme`].
+//!
+//! Full stripes compute parity client-side and stream `n` writes;
+//! partial stripes pay the four-operation read-modify-write (the
+//! small-write problem); degraded stripes fall back to bare-data or
+//! reconstruct-write paths, parking whatever copy could not be written.
+
+use cluster::xor_into;
+use raidx_core::{BlockAddr, WriteScheme};
+use sim_core::plan::{par, seq};
+use sim_core::Plan;
+
+use crate::error::IoError;
+use crate::runs::merge_runs;
+use crate::scheme::{runs_to_writes, SchemeDriver, WriteCtx};
+
+/// RAID-5 parity writes: full-stripe streaming or the four-op
+/// read-modify-write, with degraded reconstruct-write paths.
+pub struct ParityDriver;
+
+impl SchemeDriver for ParityDriver {
+    fn scheme(&self) -> WriteScheme {
+        WriteScheme::Parity
+    }
+
+    fn write(
+        &self,
+        ctx: &mut WriteCtx<'_>,
+        client: usize,
+        lb0: u64,
+        nblocks: u64,
+        data: &[u8],
+    ) -> Result<Plan, IoError> {
+        let bs = ctx.block_size();
+        let width = ctx.layout.stripe_width() as u64;
+        // A block is unstorable only if both its data disk and its
+        // stripe's parity disk are gone.
+        for lb in lb0..lb0 + nblocks {
+            let d = ctx.layout.locate_data(lb);
+            let p = ctx.layout.locate_parity(lb).expect("parity layout"); // lint-ok(no-unwrap): parity drivers only run on parity layouts
+            if ctx.faults.contains(d.disk) && ctx.faults.contains(p.disk) {
+                return Err(IoError::DataLoss { lb });
+            }
+        }
+
+        let mut full_data = Vec::new(); // data placements of full stripes
+        let mut parity_writes = Vec::new(); // (stripe, parity addr)
+        let mut rmw_plans = Vec::new();
+        // Degraded reconstruct-writes: (lost block, surviving sibling
+        // addrs to read, parity addr to write).
+        let mut reconstruct_writes: Vec<(u64, Vec<BlockAddr>, BlockAddr)> = Vec::new();
+        // Degraded data-only writes (parity disk dead).
+        let mut bare_data = Vec::new();
+        let mut xor_bytes = 0u64;
+
+        let s_first = lb0 / width;
+        let s_last = (lb0 + nblocks - 1) / width;
+        for s in s_first..=s_last {
+            let members = ctx.layout.stripe_blocks(s);
+            let covered = members.iter().all(|&m| (lb0..lb0 + nblocks).contains(&m));
+            if covered && members.len() == width as usize {
+                // Full-stripe write: parity from the new data alone. A
+                // dead data disk's block is represented by parity only;
+                // a dead parity disk simply goes unmaintained.
+                let mut parity = vec![0u8; bs];
+                for &m in &members {
+                    xor_into(&mut parity, ctx.slice(data, lb0, m));
+                    let a = ctx.layout.locate_data(m);
+                    if !ctx.faults.contains(a.disk) {
+                        ctx.write_block(a, ctx.slice(data, lb0, m))?;
+                        full_data.push((m, a));
+                    } else {
+                        ctx.park(a.disk, m);
+                    }
+                }
+                let p = ctx.layout.locate_parity(members[0]).expect("parity"); // lint-ok(no-unwrap): parity drivers only run on parity layouts
+                if !ctx.faults.contains(p.disk) {
+                    ctx.write_block(p, &parity)?;
+                    parity_writes.push((s, p));
+                } else {
+                    ctx.park(p.disk, members[0]);
+                }
+                xor_bytes += width * bs as u64;
+            } else {
+                // Partial stripe: per touched block.
+                for &m in &members {
+                    if !(lb0..lb0 + nblocks).contains(&m) {
+                        continue;
+                    }
+                    let a = ctx.layout.locate_data(m);
+                    let p = ctx.layout.locate_parity(m).expect("parity"); // lint-ok(no-unwrap): parity drivers only run on parity layouts
+                    let d_ok = !ctx.faults.contains(a.disk);
+                    let p_ok = !ctx.faults.contains(p.disk);
+                    let newd = ctx.slice(data, lb0, m).to_vec();
+                    match (d_ok, p_ok) {
+                        (true, true) => {
+                            // Healthy read-modify-write.
+                            let old = ctx.read_block(a)?;
+                            let mut new_parity = ctx.read_block(p)?;
+                            xor_into(&mut new_parity, &old);
+                            xor_into(&mut new_parity, &newd);
+                            ctx.write_block(a, &newd)?;
+                            ctx.write_block(p, &new_parity)?;
+                            rmw_plans.push((m, a, p));
+                        }
+                        (true, false) => {
+                            // Parity disk dead: data write only; park the
+                            // stale parity for recomputation on recovery.
+                            ctx.write_block(a, &newd)?;
+                            ctx.park(p.disk, m);
+                            bare_data.push((m, a));
+                        }
+                        (false, true) => {
+                            // Reconstruct-write: the new block exists only
+                            // through parity = new XOR surviving siblings.
+                            ctx.park(a.disk, m);
+                            let mut parity = newd;
+                            let mut sibs = Vec::new();
+                            for sib in ctx.layout.stripe_blocks(s) {
+                                if sib == m {
+                                    continue;
+                                }
+                                let sa = ctx.layout.locate_data(sib);
+                                let bytes = ctx.read_block(sa)?;
+                                xor_into(&mut parity, &bytes);
+                                sibs.push(sa);
+                            }
+                            ctx.write_block(p, &parity)?;
+                            reconstruct_writes.push((m, sibs, p));
+                        }
+                        (false, false) => unreachable!("checked above"),
+                    }
+                }
+            }
+        }
+
+        let ops = ctx.ops();
+        let mut branches = Vec::new();
+        if !full_data.is_empty() {
+            let data_plans = runs_to_writes(&ops, ctx.placer, client, &merge_runs(full_data), true);
+            let parity_plans: Vec<Plan> = parity_writes
+                .iter()
+                .map(|&(_, p)| ops.write_run(client, ctx.phys(p.disk), p.block, 1, true))
+                .collect();
+            branches.push(seq(vec![
+                ops.xor(client, xor_bytes),
+                par(data_plans.into_iter().chain(parity_plans).collect()),
+            ]));
+        }
+        for (_, a, p) in &rmw_plans {
+            // The four-op small-write cycle: two reads, XOR, two writes.
+            let (pa, pp) = (ctx.phys(a.disk), ctx.phys(p.disk));
+            branches.push(seq(vec![
+                par(vec![
+                    ops.read_run(client, pa, a.block, 1),
+                    ops.read_run(client, pp, p.block, 1),
+                ]),
+                ops.xor(client, 3 * bs as u64),
+                par(vec![
+                    ops.write_run(client, pa, a.block, 1, true),
+                    ops.write_run(client, pp, p.block, 1, true),
+                ]),
+            ]));
+        }
+        for run in merge_runs(bare_data) {
+            branches.push(ops.write_run(client, ctx.phys(run.disk), run.start, run.len(), true));
+        }
+        for (_, sibs, p) in &reconstruct_writes {
+            // Degraded write: read every surviving sibling, XOR with the
+            // new data, write the parity block.
+            let reads: Vec<Plan> =
+                sibs.iter().map(|a| ops.read_run(client, ctx.phys(a.disk), a.block, 1)).collect();
+            branches.push(seq(vec![
+                par(reads),
+                ops.xor(client, width * bs as u64),
+                ops.write_run(client, ctx.phys(p.disk), p.block, 1, true),
+            ]));
+        }
+        Ok(par(branches))
+    }
+}

@@ -21,6 +21,7 @@
 //! checker's tests can prove each detection path actually fires; see the
 //! variant docs for which signal catches which bug.
 
+use crate::compile::{compile_op, CompiledOp, MicroStep};
 use crate::locks::{LockGroupTable, LockHandle};
 use sim_core::explore::{Footprint, Model, ThreadId};
 
@@ -36,74 +37,9 @@ pub fn block_cell(lb: u64) -> u64 {
 // records) lives in `crate::scenarios`; re-exported here so the
 // `cdd::proto::*` paths the verify passes use keep working.
 pub use crate::scenarios::{
-    scenario_contended, scenario_reader, scenario_three, Defect, HistOp, OpRecord, ProtoOp,
-    Scenario,
+    scenario_contended, scenario_epoch, scenario_reader, scenario_three, Defect, HistOp, OpRecord,
+    ProtoOp, Scenario,
 };
-
-/// One atomic scheduler-visible action of a client.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum MicroStep {
-    Acquire { start: u64, len: u64 },
-    Write { lb: u64, val: u64 },
-    Read { lb: u64 },
-    Release,
-}
-
-/// A scripted operation compiled to micro-steps.
-#[derive(Debug, Clone)]
-struct CompiledOp {
-    op: ProtoOp,
-    steps: Vec<MicroStep>,
-}
-
-fn compile_op(op: &ProtoOp, defect: Defect, client: usize) -> CompiledOp {
-    let mut steps = Vec::new();
-    match *op {
-        ProtoOp::WriteGroup { start, len, val } => {
-            match defect {
-                Defect::SplitAcquire if len > 1 => {
-                    // Non-atomic per-block acquisition; odd clients in
-                    // descending order — the classic ABBA shape.
-                    let blocks: Vec<u64> = (start..start + len).collect();
-                    let order: Vec<u64> = if client.is_multiple_of(2) {
-                        blocks
-                    } else {
-                        blocks.into_iter().rev().collect()
-                    };
-                    for lb in order {
-                        steps.push(MicroStep::Acquire { start: lb, len: 1 });
-                    }
-                }
-                _ => steps.push(MicroStep::Acquire { start, len }),
-            }
-            if defect == Defect::EarlyRelease && len > 1 {
-                steps.push(MicroStep::Write { lb: start, val });
-                steps.push(MicroStep::Release);
-                for lb in start + 1..start + len {
-                    steps.push(MicroStep::Write { lb, val });
-                }
-            } else {
-                for lb in start..start + len {
-                    steps.push(MicroStep::Write { lb, val });
-                }
-                steps.push(MicroStep::Release);
-            }
-        }
-        ProtoOp::ReadGroup { start, len } => {
-            let locked = defect != Defect::UnlockedRead;
-            if locked {
-                steps.push(MicroStep::Acquire { start, len });
-            }
-            for lb in start..start + len {
-                steps.push(MicroStep::Read { lb });
-            }
-            if locked {
-                steps.push(MicroStep::Release);
-            }
-        }
-    }
-    CompiledOp { op: op.clone(), steps }
-}
 
 /// Per-client execution state.
 #[derive(Debug, Clone)]
@@ -125,6 +61,13 @@ pub struct ProtoState {
     pub store: Vec<u64>,
     /// Completed operations, for the linearizability checker.
     pub history: Vec<OpRecord>,
+    /// Current cluster-map epoch (0 until a [`ProtoOp::Reconfig`] bumps it).
+    pub epoch: u64,
+    /// New-home cell of the migrating block ([`Scenario::mig`]).
+    pub shadow: u64,
+    /// True while the migrating block still awaits its copy: reads of it
+    /// are served from the old home, a new-epoch write clears the flag.
+    pub pending: bool,
     /// Global step counter (real-time order for inv/resp stamps).
     pub steps: u64,
     /// Per-client execution state.
@@ -146,7 +89,7 @@ impl CddModel {
             .iter()
             .enumerate()
             .map(|(client, script)| {
-                script.iter().map(|op| compile_op(op, scenario.defect, client)).collect()
+                script.iter().map(|op| compile_op(op, &scenario, client)).collect()
             })
             .collect();
         CddModel { scenario, programs }
@@ -171,6 +114,9 @@ impl Model for CddModel {
             table: LockGroupTable::new(),
             store: vec![0; self.scenario.blocks as usize],
             history: Vec::new(),
+            epoch: 0,
+            shadow: 0,
+            pending: false,
             steps: 0,
             clients: self
                 .programs
@@ -204,6 +150,11 @@ impl Model for CddModel {
             MicroStep::Acquire { .. } | MicroStep::Release => Footprint::cells(vec![TABLE_CELL]),
             MicroStep::Write { lb, .. } | MicroStep::Read { lb } => {
                 Footprint::cells(vec![block_cell(lb)])
+            }
+            // Both touch the migrating block's routing state (epoch /
+            // pending / shadow), which its reads and writes consult.
+            MicroStep::Bump | MicroStep::Migrate { .. } => {
+                Footprint::cells(vec![block_cell(self.scenario.mig.unwrap_or(0))])
             }
         }
     }
@@ -245,11 +196,36 @@ impl Model for CddModel {
                         ));
                     }
                 }
-                s.store[lb as usize] = val;
+                if self.scenario.mig == Some(lb) && s.epoch > 0 {
+                    // New-epoch write: lands at the new home and supersedes
+                    // any still-outstanding migration copy.
+                    s.shadow = val;
+                    s.pending = false;
+                } else {
+                    s.store[lb as usize] = val;
+                }
             }
             MicroStep::Read { lb } => {
-                let v = s.store[lb as usize];
+                let v = if self.scenario.mig == Some(lb) && s.epoch > 0 {
+                    if s.pending {
+                        s.store[lb as usize] // still draining: old home
+                    } else {
+                        s.shadow
+                    }
+                } else {
+                    s.store[lb as usize]
+                };
                 s.clients[t].read_vals.push(v);
+            }
+            MicroStep::Bump => {
+                s.epoch += 1;
+                s.pending = true;
+            }
+            MicroStep::Migrate { revalidate } => {
+                if !revalidate || s.pending {
+                    s.shadow = s.store[self.scenario.mig.unwrap_or(0) as usize];
+                    s.pending = false;
+                }
             }
             MicroStep::Release => {
                 let handles = std::mem::take(&mut s.clients[t].handles);
@@ -273,15 +249,19 @@ impl Model for CddModel {
                 let inv = c.op_inv.take().unwrap_or(now);
                 let op = match &comp.op {
                     ProtoOp::WriteGroup { start, len, val } => {
-                        HistOp::Write { start: *start, len: *len, val: *val }
+                        Some(HistOp::Write { start: *start, len: *len, val: *val })
                     }
                     ProtoOp::ReadGroup { start, .. } => {
-                        HistOp::Read { start: *start, vals: std::mem::take(&mut c.read_vals) }
+                        Some(HistOp::Read { start: *start, vals: std::mem::take(&mut c.read_vals) })
                     }
+                    // A migration preserves contents: no logical effect.
+                    ProtoOp::Reconfig => None,
                 };
                 c.op_idx += 1;
                 c.step_idx = 0;
-                s.history.push(OpRecord { client: t, inv, resp: now, op });
+                if let Some(op) = op {
+                    s.history.push(OpRecord { client: t, inv, resp: now, op });
+                }
             }
         }
         Ok(())
@@ -313,6 +293,7 @@ mod tests {
             scenario_contended(Defect::None),
             scenario_reader(Defect::None),
             scenario_three(Defect::None),
+            scenario_epoch(Defect::None),
         ]
     }
 

@@ -23,6 +23,12 @@ pub enum ProtoOp {
         /// Blocks in the group.
         len: u64,
     },
+    /// An operator's epoch transition over the scenario's migrating block
+    /// ([`Scenario::mig`]): bump the epoch under the reserved meta lock
+    /// (placement flips, the block becomes pending), then copy the block
+    /// to its new home under the block lock, re-validating that it is
+    /// still pending — the micro-step shape of [`crate::rebalance`].
+    Reconfig,
 }
 
 /// A protocol bug planted into the compiled scenario, used by
@@ -48,6 +54,11 @@ pub enum Defect {
     /// Readers skip the lock protocol entirely. Caught as a
     /// non-linearizable (torn) read by the history checker.
     UnlockedRead,
+    /// The epoch transition's migration copy runs unlocked and without
+    /// re-validating the pending flag, so it can clobber a new-epoch
+    /// write with the stale old-home bytes. Caught as a non-linearizable
+    /// (stale) read by the history checker.
+    UnsyncedReconfig,
 }
 
 /// A named multi-client scenario for the model checker.
@@ -65,6 +76,12 @@ pub struct Scenario {
     /// grant. On for invariant scenarios; off for linearizability
     /// scenarios (there the history checker is the oracle).
     pub assert_coverage: bool,
+    /// The logical block an epoch transition migrates, if the scenario
+    /// scripts a [`ProtoOp::Reconfig`]. After the bump, this block's
+    /// writes land at (and reads of it come from) a shadow new-home cell,
+    /// with pending reads served from the old home — the model analogue of
+    /// [`crate::placer::Placer`] routing.
+    pub mig: Option<u64>,
 }
 
 /// Two clients writing the same two-block group — the minimal contended
@@ -79,6 +96,7 @@ pub fn scenario_contended(defect: Defect) -> Scenario {
         ],
         defect,
         assert_coverage: true,
+        mig: None,
     }
 }
 
@@ -94,6 +112,7 @@ pub fn scenario_reader(defect: Defect) -> Scenario {
         ],
         defect,
         assert_coverage: false,
+        mig: None,
     }
 }
 
@@ -110,6 +129,26 @@ pub fn scenario_three(defect: Defect) -> Scenario {
         ],
         defect,
         assert_coverage: true,
+        mig: None,
+    }
+}
+
+/// An operator's epoch transition racing a writer and a reader of the
+/// migrating block — the scenario proving the rebalance copy must
+/// re-validate the pending flag under the block lock before overwriting
+/// the new home.
+pub fn scenario_epoch(defect: Defect) -> Scenario {
+    Scenario {
+        name: "epoch-migration",
+        blocks: 1,
+        scripts: vec![
+            vec![ProtoOp::Reconfig],
+            vec![ProtoOp::WriteGroup { start: 0, len: 1, val: 9 }],
+            vec![ProtoOp::ReadGroup { start: 0, len: 1 }],
+        ],
+        defect,
+        assert_coverage: false,
+        mig: Some(0),
     }
 }
 

@@ -13,7 +13,7 @@
 //!   sequential runs. With [`CddConfig::max_image_backlog`] set, a write
 //!   that overfills the queue pays the overflow as a foreground partial
 //!   clustered flush (bounded backpressure).
-//! * [`ParityDriver`] (`Parity`) — RAID-5: full stripes compute parity
+//! * [`crate::parity::ParityDriver`] (`Parity`) — RAID-5: full stripes compute parity
 //!   client-side and write `n` streams; partial stripes pay the
 //!   four-operation read-modify-write (the small-write problem).
 //!
@@ -23,7 +23,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use cluster::{xor_into, Cluster, DataPlane};
+use cluster::{Cluster, DataPlane};
 use raidx_core::{BlockAddr, FaultSet, Layout, WriteScheme};
 use sim_core::plan::{background, par, seq};
 use sim_core::Plan;
@@ -32,16 +32,26 @@ use crate::config::CddConfig;
 use crate::error::IoError;
 use crate::image_queue::{ImageQueue, PendingImage};
 use crate::ops::OpBuilder;
+use crate::placer::Placer;
 use crate::runs::{merge_runs, Run};
 
 /// Everything a scheme driver may touch, borrowed field-by-field from the
 /// [`crate::IoSystem`] for the duration of one admitted write.
+///
+/// All placement arithmetic inside a driver happens in logical *slot*
+/// space; the context's [`WriteCtx::write_block`], [`WriteCtx::read_block`]
+/// and [`WriteCtx::phys`] helpers translate to physical disks through the
+/// epoch-versioned placer at the plane boundary (the identity on a
+/// never-reconfigured array).
 pub struct WriteCtx<'a> {
     /// The layout placing blocks.
     pub layout: &'a dyn Layout,
     /// The functional plane holding the bytes.
     pub plane: &'a mut DataPlane,
-    /// Currently failed disks.
+    /// Epoch-versioned slot→physical binding; writes through it supersede
+    /// any in-flight migration of the written blocks.
+    pub placer: &'a mut Placer,
+    /// Currently failed disks (slot view of the client's fault set).
     pub faults: &'a FaultSet,
     /// Cluster resource handles for plan building.
     pub cluster: &'a Cluster,
@@ -73,11 +83,33 @@ impl<'a> WriteCtx<'a> {
         self.cluster.cfg.block_size as usize
     }
 
-    /// Record that `lb`'s copy on unavailable `disk` was skipped by a
-    /// degraded write and must be restored when the disk comes back (or
-    /// is rebuilt).
+    /// Record that `lb`'s copy on unavailable slot `disk` was skipped by
+    /// a degraded write and must be restored when the disk comes back (or
+    /// is rebuilt). The ledger is keyed by *physical* disk, so the entry
+    /// follows the slot's current home.
     pub fn park(&mut self, disk: usize, lb: u64) {
-        self.parked.entry(disk).or_default().insert(lb);
+        let phys = self.placer.phys(disk);
+        self.parked.entry(phys).or_default().insert(lb);
+    }
+
+    /// Physical disk currently serving slot `slot`.
+    pub fn phys(&self, slot: usize) -> usize {
+        self.placer.phys(slot)
+    }
+
+    /// Write one block at slot-space address `a`: lands on the slot's
+    /// current home and supersedes any pending migration of the block.
+    pub fn write_block(&mut self, a: BlockAddr, bytes: &[u8]) -> Result<(), IoError> {
+        let h = self.placer.write_home(a);
+        self.plane.write(h.disk, h.block, bytes)?;
+        Ok(())
+    }
+
+    /// Read one block at slot-space address `a`, from wherever it
+    /// currently lives (the old home while pending migration).
+    pub fn read_block(&mut self, a: BlockAddr) -> Result<Vec<u8>, IoError> {
+        let h = self.placer.read_home(a);
+        Ok(self.plane.read_owned(h.disk, h.block)?)
     }
 
     /// The block of `data` backing logical block `lb` of a request
@@ -108,6 +140,7 @@ pub trait SchemeDriver: Sync {
 
 /// The driver implementing `scheme`.
 pub fn driver_for(scheme: WriteScheme) -> &'static dyn SchemeDriver {
+    use crate::parity::ParityDriver;
     static PLAIN: PlainDriver = PlainDriver;
     static FOREGROUND: MirrorDriver = MirrorDriver { write_behind: false };
     static BACKGROUND: MirrorDriver = MirrorDriver { write_behind: true };
@@ -120,8 +153,14 @@ pub fn driver_for(scheme: WriteScheme) -> &'static dyn SchemeDriver {
     }
 }
 
-fn runs_to_writes(ops: &OpBuilder<'_>, client: usize, runs: &[Run], ack: bool) -> Vec<Plan> {
-    runs.iter().map(|r| ops.write_run(client, r.disk, r.start, r.len(), ack)).collect()
+pub(crate) fn runs_to_writes(
+    ops: &OpBuilder<'_>,
+    placer: &Placer,
+    client: usize,
+    runs: &[Run],
+    ack: bool,
+) -> Vec<Plan> {
+    runs.iter().map(|r| ops.write_run(client, placer.phys(r.disk), r.start, r.len(), ack)).collect()
 }
 
 /// Plain striping: every block to its data disk, acked in parallel.
@@ -149,10 +188,10 @@ impl SchemeDriver for PlainDriver {
             placements.push((lb, a));
         }
         for &(lb, a) in &placements {
-            ctx.plane.write(a.disk, a.block, ctx.slice(data, lb0, lb))?;
+            ctx.write_block(a, ctx.slice(data, lb0, lb))?;
         }
         let ops = ctx.ops();
-        let plans = runs_to_writes(&ops, client, &merge_runs(placements), true);
+        let plans = runs_to_writes(&ops, ctx.placer, client, &merge_runs(placements), true);
         Ok(par(plans))
     }
 }
@@ -217,8 +256,9 @@ impl SchemeDriver for MirrorDriver {
                 }
             }
         }
-        for &(lb, a) in fg.iter().chain(bg.iter()) {
-            ctx.plane.write(a.disk, a.block, ctx.slice(data, lb0, lb))?;
+        let all: Vec<(u64, BlockAddr)> = fg.iter().chain(bg.iter()).copied().collect();
+        for (lb, a) in all {
+            ctx.write_block(a, ctx.slice(data, lb0, lb))?;
         }
         // Write-behind with group clustering: buffer each deferred image
         // under its mirroring group; a group that fills flushes as one
@@ -228,10 +268,13 @@ impl SchemeDriver for MirrorDriver {
         let mut ready: Vec<PendingImage> = Vec::new();
         for (lb, img) in bg {
             let group = ctx.layout.image_group_key(lb);
-            ready.extend(ctx.images.push(PendingImage { client, lb, addr: img }, group));
+            // The queue holds physical addresses, so disk-level drains and
+            // flush plans match the fault state and the current epoch.
+            let addr = BlockAddr::new(ctx.phys(img.disk), img.block);
+            ready.extend(ctx.images.push(PendingImage { client, lb, addr }, group));
         }
         let ops = ctx.ops();
-        let fg_plans = runs_to_writes(&ops, client, &merge_runs(fg), true);
+        let fg_plans = runs_to_writes(&ops, ctx.placer, client, &merge_runs(fg), true);
         let mut chain = vec![par(fg_plans)];
         if !ready.is_empty() {
             if let Some(out) = ctx.surrendered.as_deref_mut() {
@@ -252,172 +295,6 @@ impl SchemeDriver for MirrorDriver {
             }
         }
         Ok(seq(chain))
-    }
-}
-
-/// RAID-5 parity writes: full-stripe streaming or the four-op
-/// read-modify-write, with degraded reconstruct-write paths.
-pub struct ParityDriver;
-
-impl SchemeDriver for ParityDriver {
-    fn scheme(&self) -> WriteScheme {
-        WriteScheme::Parity
-    }
-
-    fn write(
-        &self,
-        ctx: &mut WriteCtx<'_>,
-        client: usize,
-        lb0: u64,
-        nblocks: u64,
-        data: &[u8],
-    ) -> Result<Plan, IoError> {
-        let bs = ctx.block_size();
-        let width = ctx.layout.stripe_width() as u64;
-        // A block is unstorable only if both its data disk and its
-        // stripe's parity disk are gone.
-        for lb in lb0..lb0 + nblocks {
-            let d = ctx.layout.locate_data(lb);
-            let p = ctx.layout.locate_parity(lb).expect("parity layout"); // lint-ok(no-unwrap): parity drivers only run on parity layouts
-            if ctx.faults.contains(d.disk) && ctx.faults.contains(p.disk) {
-                return Err(IoError::DataLoss { lb });
-            }
-        }
-
-        let mut full_data = Vec::new(); // data placements of full stripes
-        let mut parity_writes = Vec::new(); // (stripe, parity addr)
-        let mut rmw_plans = Vec::new();
-        // Degraded reconstruct-writes: (lost block, surviving sibling
-        // addrs to read, parity addr to write).
-        let mut reconstruct_writes: Vec<(u64, Vec<BlockAddr>, BlockAddr)> = Vec::new();
-        // Degraded data-only writes (parity disk dead).
-        let mut bare_data = Vec::new();
-        let mut xor_bytes = 0u64;
-
-        let s_first = lb0 / width;
-        let s_last = (lb0 + nblocks - 1) / width;
-        for s in s_first..=s_last {
-            let members = ctx.layout.stripe_blocks(s);
-            let covered = members.iter().all(|&m| (lb0..lb0 + nblocks).contains(&m));
-            if covered && members.len() == width as usize {
-                // Full-stripe write: parity from the new data alone. A
-                // dead data disk's block is represented by parity only;
-                // a dead parity disk simply goes unmaintained.
-                let mut parity = vec![0u8; bs];
-                for &m in &members {
-                    let slice = ctx.slice(data, lb0, m);
-                    xor_into(&mut parity, slice);
-                    let a = ctx.layout.locate_data(m);
-                    if !ctx.faults.contains(a.disk) {
-                        ctx.plane.write(a.disk, a.block, slice)?;
-                        full_data.push((m, a));
-                    } else {
-                        ctx.park(a.disk, m);
-                    }
-                }
-                let p = ctx.layout.locate_parity(members[0]).expect("parity"); // lint-ok(no-unwrap): parity drivers only run on parity layouts
-                if !ctx.faults.contains(p.disk) {
-                    ctx.plane.write(p.disk, p.block, &parity)?;
-                    parity_writes.push((s, p));
-                } else {
-                    ctx.park(p.disk, members[0]);
-                }
-                xor_bytes += width * bs as u64;
-            } else {
-                // Partial stripe: per touched block.
-                for &m in &members {
-                    if !(lb0..lb0 + nblocks).contains(&m) {
-                        continue;
-                    }
-                    let a = ctx.layout.locate_data(m);
-                    let p = ctx.layout.locate_parity(m).expect("parity"); // lint-ok(no-unwrap): parity drivers only run on parity layouts
-                    let d_ok = !ctx.faults.contains(a.disk);
-                    let p_ok = !ctx.faults.contains(p.disk);
-                    let newd = ctx.slice(data, lb0, m).to_vec();
-                    match (d_ok, p_ok) {
-                        (true, true) => {
-                            // Healthy read-modify-write.
-                            let old = ctx.plane.read_owned(a.disk, a.block)?;
-                            let mut new_parity = ctx.plane.read_owned(p.disk, p.block)?;
-                            xor_into(&mut new_parity, &old);
-                            xor_into(&mut new_parity, &newd);
-                            ctx.plane.write(a.disk, a.block, &newd)?;
-                            ctx.plane.write(p.disk, p.block, &new_parity)?;
-                            rmw_plans.push((m, a, p));
-                        }
-                        (true, false) => {
-                            // Parity disk dead: data write only; park the
-                            // stale parity for recomputation on recovery.
-                            ctx.plane.write(a.disk, a.block, &newd)?;
-                            ctx.park(p.disk, m);
-                            bare_data.push((m, a));
-                        }
-                        (false, true) => {
-                            // Reconstruct-write: the new block exists only
-                            // through parity = new XOR surviving siblings.
-                            ctx.park(a.disk, m);
-                            let mut parity = newd;
-                            let mut sibs = Vec::new();
-                            for sib in ctx.layout.stripe_blocks(s) {
-                                if sib == m {
-                                    continue;
-                                }
-                                let sa = ctx.layout.locate_data(sib);
-                                let bytes = ctx.plane.read_owned(sa.disk, sa.block)?;
-                                xor_into(&mut parity, &bytes);
-                                sibs.push(sa);
-                            }
-                            ctx.plane.write(p.disk, p.block, &parity)?;
-                            reconstruct_writes.push((m, sibs, p));
-                        }
-                        (false, false) => unreachable!("checked above"),
-                    }
-                }
-            }
-        }
-
-        let ops = ctx.ops();
-        let mut branches = Vec::new();
-        if !full_data.is_empty() {
-            let data_plans = runs_to_writes(&ops, client, &merge_runs(full_data), true);
-            let parity_plans: Vec<Plan> = parity_writes
-                .iter()
-                .map(|&(_, p)| ops.write_run(client, p.disk, p.block, 1, true))
-                .collect();
-            branches.push(seq(vec![
-                ops.xor(client, xor_bytes),
-                par(data_plans.into_iter().chain(parity_plans).collect()),
-            ]));
-        }
-        for (_, a, p) in &rmw_plans {
-            // The four-op small-write cycle: two reads, XOR, two writes.
-            branches.push(seq(vec![
-                par(vec![
-                    ops.read_run(client, a.disk, a.block, 1),
-                    ops.read_run(client, p.disk, p.block, 1),
-                ]),
-                ops.xor(client, 3 * bs as u64),
-                par(vec![
-                    ops.write_run(client, a.disk, a.block, 1, true),
-                    ops.write_run(client, p.disk, p.block, 1, true),
-                ]),
-            ]));
-        }
-        for run in merge_runs(bare_data) {
-            branches.push(ops.write_run(client, run.disk, run.start, run.len(), true));
-        }
-        for (_, sibs, p) in &reconstruct_writes {
-            // Degraded write: read every surviving sibling, XOR with the
-            // new data, write the parity block.
-            let reads: Vec<Plan> =
-                sibs.iter().map(|a| ops.read_run(client, a.disk, a.block, 1)).collect();
-            branches.push(seq(vec![
-                par(reads),
-                ops.xor(client, width * bs as u64),
-                ops.write_run(client, p.disk, p.block, 1, true),
-            ]));
-        }
-        Ok(par(branches))
     }
 }
 

@@ -2,12 +2,13 @@
 //! whole cluster, as an explicit three-layer request pipeline.
 //!
 //! [`IoSystem`] binds a [`Layout`] (where blocks live), a [`Cluster`]
-//! (which resources they cross) and a [`DataPlane`] (the actual bytes),
-//! and orchestrates the layers:
+//! (which resources they cross), a [`DataPlane`] (the actual bytes) and
+//! a [`Placer`] (the epoch-versioned slot→physical binding), and
+//! orchestrates the layers:
 //!
 //! 1. **Front end / admission** ([`crate::frontend`]) — range and length
-//!    validation (shared with the NFS baseline), run coalescing, and
-//!    replica selection for reads.
+//!    validation (shared with the NFS baseline), epoch stamping, run
+//!    coalescing, and replica selection for reads.
 //! 2. **Consistency module** ([`crate::locks`]) — the replicated
 //!    lock-group table; a write holds its group for the duration of the
 //!    (logically instantaneous) functional update.
@@ -19,25 +20,29 @@
 //!
 //! Every request is executed **functionally** (bytes move now, so
 //! correctness is checkable) and **temporally** (a [`Plan`] is returned
-//! for the discrete-event engine, so performance is measurable). Scrub
-//! and rebuild live in [`crate::maintenance`].
+//! for the discrete-event engine, so performance is measurable).
+//!
+//! The orchestrator is split across three modules, all `impl IoSystem`:
+//! this one holds the state and its accessors, [`crate::datapath`] the
+//! read/write request paths, and [`crate::membership`] fault state and
+//! the epoch-transition operations (disk add/remove/replace and the
+//! incremental rebalance). Scrub and rebuild live in
+//! [`crate::maintenance`].
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use cluster::{xor_into, Cluster, ClusterConfig, DataPlane};
-use raidx_core::{Arch, FaultSet, Layout, ReadSource};
-use sim_core::plan::{delay, par, seq};
+use cluster::{Cluster, ClusterConfig, ClusterMap, DataPlane};
+use raidx_core::{Arch, FaultSet, Layout};
 use sim_core::trace::{AccessKind, TracePoint, Tracer};
-use sim_core::{hb, Engine, Plan, SimTime};
+use sim_core::{hb, Engine, SimTime};
 use sim_net::PartitionMap;
 
 use crate::config::CddConfig;
-use crate::frontend::{self, ReadBalancer};
+use crate::frontend::ReadBalancer;
 use crate::image_queue::ImageQueue;
 use crate::locks::LockGroupTable;
 use crate::ops::OpBuilder;
-use crate::runs::merge_runs;
-use crate::scheme::{self, WriteCtx};
+use crate::placer::Placer;
 
 pub use crate::error::IoError;
 
@@ -48,6 +53,9 @@ pub struct IoSystem {
     pub(crate) plane: DataPlane,
     pub(crate) layout: Box<dyn Layout>,
     pub(crate) cfg: CddConfig,
+    /// Epoch-versioned slot→physical placement (identity until the first
+    /// reconfiguration, so static runs take the untranslated fast path).
+    pub(crate) placer: Placer,
     pub(crate) faults: FaultSet,
     /// Disks transiently offline (contents intact, I/O rejected). The
     /// paper's *transient* failure class: recovery resyncs only the
@@ -55,41 +63,44 @@ pub struct IoSystem {
     pub(crate) offline: FaultSet,
     /// Interconnect fault state: which nodes are cut off right now.
     pub(crate) partitions: PartitionMap,
-    /// Degraded-write ledger: per unavailable disk, the logical blocks
-    /// whose copy there was skipped and must be restored on recovery.
+    /// Degraded-write ledger: per unavailable *physical* disk, the
+    /// logical blocks whose copy there was skipped and must be restored
+    /// on recovery.
     pub(crate) parked: BTreeMap<usize, BTreeSet<u64>>,
     pub(crate) locks: LockGroupTable,
     pub(crate) high_water: u64,
-    /// Data-plane write-behind buffer of the OSM image path.
+    /// Data-plane write-behind buffer of the OSM image path (addresses
+    /// are physical, so disk-level drains match the fault state).
     pub(crate) images: ImageQueue,
-    /// Front-end replica selection for reads.
+    /// Front-end replica selection for reads (load counters are indexed
+    /// by logical slot, which never grows).
     pub(crate) balancer: ReadBalancer,
     /// Per-op lock-table occupancy samples `(op sequence number, records
     /// held while the op's grant was live)`, recorded only when
     /// [`IoSystem::enable_lock_metrics`] has been called. Op sequence is
     /// the timeline here — grants are scoped to the functional call, so
     /// a sim-time series would read as permanently empty.
-    lock_samples: Option<Vec<(u64, usize)>>,
+    pub(crate) lock_samples: Option<Vec<(u64, usize)>>,
     /// Per-op image-backlog samples `(op sequence number, blocks buffered
     /// after the op)`, recorded alongside the lock samples. The backlog
     /// gauge of the write-behind bound.
-    backlog_samples: Option<Vec<(u64, usize)>>,
+    pub(crate) backlog_samples: Option<Vec<(u64, usize)>>,
     /// Monotone operation counter (writes), for the sample series.
-    op_seq: u64,
+    pub(crate) op_seq: u64,
     /// Request attempts that timed out against an unresponsive node.
-    timeouts: u64,
+    pub(crate) timeouts: u64,
     /// Requests that failed over to a replica after a timeout.
-    failovers: u64,
+    pub(crate) failovers: u64,
     /// Optional observer of protocol-level [`TracePoint::Access`] events
     /// (lock grants/releases, SIOS reads/writes, OSM image surrenders).
     /// `None` keeps every emission site a single branch — the same
     /// zero-cost-when-disabled guarantee the engine's tracer gives.
-    tracer: Option<Box<dyn Tracer>>,
+    pub(crate) tracer: Option<Box<dyn Tracer>>,
     /// Synthetic protocol clock: one tick per traced operation. Access
     /// events are stamped with it (not engine time — the functional
     /// update is logically instantaneous), so every op's accesses share
     /// a timestamp distinct from every other op's.
-    trace_ticks: u64,
+    pub(crate) trace_ticks: u64,
 }
 
 impl IoSystem {
@@ -120,6 +131,7 @@ impl IoSystem {
             plane,
             layout,
             cfg,
+            placer: Placer::identity(total_disks),
             faults: FaultSet::none(),
             offline: FaultSet::none(),
             partitions: PartitionMap::new(),
@@ -152,14 +164,21 @@ impl IoSystem {
     }
 
     /// Allocate the next protocol-clock tick (tracing enabled only).
-    fn next_op_tick(&mut self) -> SimTime {
+    pub(crate) fn next_op_tick(&mut self) -> SimTime {
         let t = self.trace_ticks;
         self.trace_ticks += 1;
         SimTime(t)
     }
 
     /// Emit one `Access` trace point if a tracer is installed.
-    fn trace_access(&mut self, at: SimTime, actor: u32, cell: u64, len: u64, kind: AccessKind) {
+    pub(crate) fn trace_access(
+        &mut self,
+        at: SimTime,
+        actor: u32,
+        cell: u64,
+        len: u64,
+        kind: AccessKind,
+    ) {
         if let Some(tr) = self.tracer.as_mut() {
             tr.record(at, TracePoint::Access { task: actor, cell, len, kind });
         }
@@ -167,7 +186,7 @@ impl IoSystem {
 
     /// Emit image-surrender writes for blocks that left the OSM queue
     /// outside any client op (flush points, disk drains).
-    fn trace_image_drain(&mut self, lbs: &[u64]) {
+    pub(crate) fn trace_image_drain(&mut self, lbs: &[u64]) {
         if self.tracer.is_none() || lbs.is_empty() {
             return;
         }
@@ -192,6 +211,22 @@ impl IoSystem {
         self.layout.capacity_blocks()
     }
 
+    /// Current placement epoch (0 until the first reconfiguration).
+    pub fn epoch(&self) -> u64 {
+        self.placer.epoch()
+    }
+
+    /// The epoch-versioned cluster map (roster states, past bindings).
+    pub fn cluster_map(&self) -> &ClusterMap {
+        self.placer.map()
+    }
+
+    /// Blocks still awaiting migration after an epoch transition (0 when
+    /// no migration is in flight).
+    pub fn migration_pending(&self) -> usize {
+        self.placer.pending_blocks()
+    }
+
     /// Currently failed disks (permanent: contents lost).
     pub fn faults(&self) -> &FaultSet {
         &self.faults
@@ -207,47 +242,7 @@ impl IoSystem {
         &self.partitions
     }
 
-    /// Disks whose *media* is unavailable: failed or transiently offline.
-    /// Scrub and recovery planning use this set — connectivity does not
-    /// matter to on-disk redundancy relations.
-    pub fn storage_faults(&self) -> FaultSet {
-        let mut s = self.faults.clone();
-        for d in self.offline.iter() {
-            s.insert(d);
-        }
-        s
-    }
-
-    /// Disks `client` cannot use right now: failed, offline, or hosted on
-    /// a node unreachable from `client` through the current partitions.
-    /// Every request is planned against this set, so in-flight partitions
-    /// are observed — this is the client module's view of the array.
-    pub fn effective_faults(&self, client: usize) -> FaultSet {
-        let mut eff = self.storage_faults();
-        if !self.partitions.is_empty() {
-            for g in 0..self.cluster.ndisks() {
-                if !self.partitions.reachable(client, self.cluster.node_of_disk(g)) {
-                    eff.insert(g);
-                }
-            }
-        }
-        eff
-    }
-
-    /// Cut `node` off from the switch: remote clients lose access to its
-    /// disks (and it loses access to theirs) until [`IoSystem::heal_node`].
-    pub fn partition_node(&mut self, node: usize) {
-        self.partitions.partition(node);
-    }
-
-    /// Reconnect `node`. The caller should then resync the blocks parked
-    /// against its disks ([`IoSystem::resync_parked`]) before trusting
-    /// redundancy again.
-    pub fn heal_node(&mut self, node: usize) {
-        self.partitions.heal(node);
-    }
-
-    /// Logical blocks parked against `disk` by degraded writes.
+    /// Logical blocks parked against physical `disk` by degraded writes.
     pub fn parked_blocks(&self, disk: usize) -> usize {
         self.parked.get(&disk).map_or(0, BTreeSet::len)
     }
@@ -326,13 +321,36 @@ impl IoSystem {
         &mut self.plane
     }
 
+    /// Flush every still-buffered image group (partial groups included) as
+    /// background writes. Call at sync points; the returned plan performs
+    /// the deferred mirror traffic.
+    pub fn flush_images(&mut self) -> sim_core::Plan {
+        let all = self.images.drain_all();
+        if all.is_empty() {
+            return sim_core::Plan::Noop;
+        }
+        if self.tracer.is_some() {
+            let lbs: Vec<u64> = all.iter().map(|p| p.lb).collect();
+            self.trace_image_drain(&lbs);
+        }
+        let ops = self.ops();
+        sim_core::plan::par(ImageQueue::flush_plans(&ops, all))
+    }
+
+    /// Number of image blocks currently buffered for deferred flushing.
+    /// With [`CddConfig::max_image_backlog`] set this gauge is clamped at
+    /// the bound between requests.
+    pub fn pending_image_blocks(&self) -> usize {
+        self.images.len()
+    }
+
     pub(crate) fn ops(&self) -> OpBuilder<'_> {
         OpBuilder { cluster: &self.cluster, cfg: &self.cfg }
     }
 
     /// Record one `(op sequence, records held)` sample if lock metrics
     /// recording is on. Called while the current op's grant is live.
-    fn sample_locks(&mut self) {
+    pub(crate) fn sample_locks(&mut self) {
         let held = self.locks.held().count();
         let seq = self.op_seq;
         self.op_seq += 1;
@@ -343,500 +361,11 @@ impl IoSystem {
 
     /// Record the post-op image backlog under the same op sequence the
     /// lock sample used.
-    fn sample_backlog(&mut self) {
+    pub(crate) fn sample_backlog(&mut self) {
         let pending = self.images.len();
         let seq = self.op_seq.saturating_sub(1);
         if let Some(samples) = self.backlog_samples.as_mut() {
             samples.push((seq, pending));
         }
-    }
-
-    /// Write `data` (a whole number of blocks) at logical block `lb0` on
-    /// behalf of node `client`. Returns the timing plan; the bytes are
-    /// already durable on the functional plane when this returns.
-    pub fn write(&mut self, client: usize, lb0: u64, data: &[u8]) -> Result<Plan, IoError> {
-        // Front end: admission.
-        let bs = self.block_size() as usize;
-        let nblocks = frontend::validate_write(bs, self.capacity_blocks(), lb0, data.len())?;
-
-        // Client module: plan against what this client can actually reach.
-        // An alive-but-unreachable copy costs one timed-out attempt before
-        // the degraded write proceeds without it (parking the copy); with
-        // retries disabled the request surfaces the partition instead.
-        let eff = self.effective_faults(client);
-        let blocked = self.blocked_peer(&eff, lb0, nblocks);
-        if let Some(node) = blocked {
-            if self.cfg.max_retries == 0 {
-                return Err(IoError::Unreachable { node, attempts: 1 });
-            }
-        }
-
-        // Consistency module: atomically acquire the lock group, held for
-        // the duration of the (logically instantaneous) functional update.
-        let lock = self.locks.acquire(client, lb0, nblocks).map_err(IoError::Lock)?;
-        self.sample_locks();
-        // Protocol trace: the whole op shares one synthetic tick, in
-        // program order grant → write → surrenders → release.
-        let tick = if self.tracer.is_some() { Some(self.next_op_tick()) } else { None };
-        let actor = hb::client_actor(client);
-        if let Some(at) = tick {
-            self.trace_access(at, actor, hb::sios_cell(lb0), nblocks, AccessKind::Acquire);
-        }
-        let mut surrendered = if tick.is_some() { Some(Vec::new()) } else { None };
-        let result = self.write_locked(client, &eff, lb0, nblocks, data, surrendered.as_mut());
-        self.locks.release(lock);
-        if let Some(at) = tick {
-            if result.is_ok() {
-                self.trace_access(at, actor, hb::sios_cell(lb0), nblocks, AccessKind::Write);
-                for lb in surrendered.as_deref().unwrap_or(&[]) {
-                    self.trace_access(at, actor, hb::image_cell(*lb), 1, AccessKind::Write);
-                }
-            }
-            self.trace_access(at, actor, hb::sios_cell(lb0), nblocks, AccessKind::Release);
-        }
-        let body = match result {
-            Ok(body) => body,
-            Err(IoError::DataLoss { lb }) => return Err(self.classify_loss(client, lb)),
-            Err(e) => return Err(e),
-        };
-        self.sample_backlog();
-        self.high_water = self.high_water.max(lb0 + nblocks);
-
-        let ops = self.ops();
-        let mut chain = vec![ops.driver(client)];
-        if self.cfg.lock_broadcast {
-            chain.push(ops.lock_round(client));
-        }
-        if blocked.is_some() {
-            self.timeouts += 1;
-            self.failovers += 1;
-            chain.push(delay(self.cfg.request_timeout));
-        }
-        chain.push(body);
-        Ok(seq(chain))
-    }
-
-    /// Scheme-driver dispatch: hand the admitted, locked write to the
-    /// driver matching the layout's write scheme, planned against the
-    /// requesting client's effective fault set.
-    fn write_locked(
-        &mut self,
-        client: usize,
-        eff: &FaultSet,
-        lb0: u64,
-        nblocks: u64,
-        data: &[u8],
-        surrendered: Option<&mut Vec<u64>>,
-    ) -> Result<Plan, IoError> {
-        let driver = scheme::driver_for(self.layout.write_scheme());
-        let mut ctx = WriteCtx {
-            layout: self.layout.as_ref(),
-            plane: &mut self.plane,
-            faults: eff,
-            cluster: &self.cluster,
-            cfg: &self.cfg,
-            images: &mut self.images,
-            parked: &mut self.parked,
-            surrendered,
-        };
-        driver.write(&mut ctx, client, lb0, nblocks, data)
-    }
-
-    /// First alive-but-unreachable peer node involved in a request over
-    /// `[lb0, lb0+nblocks)`, if any — the node a timed-out attempt is
-    /// charged against.
-    fn blocked_peer(&self, eff: &FaultSet, lb0: u64, nblocks: u64) -> Option<usize> {
-        if self.partitions.is_empty() {
-            return None;
-        }
-        let storage = self.storage_faults();
-        for lb in lb0..lb0 + nblocks {
-            let mut addrs = vec![self.layout.locate_data(lb)];
-            addrs.extend(self.layout.locate_images(lb));
-            addrs.extend(self.layout.locate_parity(lb));
-            for a in addrs {
-                if eff.contains(a.disk) && !storage.contains(a.disk) {
-                    return Some(self.cluster.node_of_disk(a.disk));
-                }
-            }
-        }
-        None
-    }
-
-    /// Refine a driver-level `DataLoss` into the client-visible error:
-    /// if every copy is gone from the *media*, it really is data loss;
-    /// if the bytes survive behind a partition, the request failed only
-    /// on connectivity and must say so (and must not hang).
-    fn classify_loss(&self, client: usize, lb: u64) -> IoError {
-        let storage = self.storage_faults();
-        if matches!(self.layout.read_source(lb, &storage), ReadSource::Lost) {
-            return IoError::DataLoss { lb };
-        }
-        let attempts = 1 + self.cfg.max_retries;
-        let mut addrs = vec![self.layout.locate_data(lb)];
-        addrs.extend(self.layout.locate_images(lb));
-        for a in addrs {
-            let node = self.cluster.node_of_disk(a.disk);
-            if !self.partitions.reachable(client, node) {
-                return IoError::Unreachable { node, attempts };
-            }
-        }
-        // Unreachable through parity placement only.
-        IoError::Unreachable { node: client, attempts }
-    }
-
-    /// Flush every still-buffered image group (partial groups included) as
-    /// background writes. Call at sync points; the returned plan performs
-    /// the deferred mirror traffic.
-    pub fn flush_images(&mut self) -> Plan {
-        let all = self.images.drain_all();
-        if all.is_empty() {
-            return Plan::Noop;
-        }
-        if self.tracer.is_some() {
-            let lbs: Vec<u64> = all.iter().map(|p| p.lb).collect();
-            self.trace_image_drain(&lbs);
-        }
-        let ops = self.ops();
-        par(ImageQueue::flush_plans(&ops, all))
-    }
-
-    /// Number of image blocks currently buffered for deferred flushing.
-    /// With [`CddConfig::max_image_backlog`] set this gauge is clamped at
-    /// the bound between requests.
-    pub fn pending_image_blocks(&self) -> usize {
-        self.images.len()
-    }
-
-    /// Read `nblocks` logical blocks starting at `lb0` for node `client`.
-    /// Returns the bytes (already materialized from the functional plane)
-    /// and the timing plan.
-    pub fn read(
-        &mut self,
-        client: usize,
-        lb0: u64,
-        nblocks: u64,
-    ) -> Result<(Vec<u8>, Plan), IoError> {
-        frontend::validate_range(lb0, nblocks, self.capacity_blocks())?;
-        let bs = self.block_size() as usize;
-        let mut out = vec![0u8; nblocks as usize * bs];
-
-        // Client module: route around everything this client cannot reach.
-        let eff = self.effective_faults(client);
-        let storage = self.storage_faults();
-
-        // Partition: blocks with a usable primary are balanced at run
-        // granularity; the rest fall back to the degraded paths. A
-        // primary that is alive but behind a partition costs one timed-out
-        // attempt before the client retries against a replica.
-        let mut healthy = Vec::new();
-        let mut forced_images = Vec::new();
-        let mut reconstructs = Vec::new();
-        let mut blocked: Option<usize> = None;
-        for lb in lb0..lb0 + nblocks {
-            let d = self.layout.locate_data(lb);
-            if !eff.contains(d.disk) {
-                healthy.push((lb, d));
-                continue;
-            }
-            if !storage.contains(d.disk) {
-                blocked.get_or_insert(self.cluster.node_of_disk(d.disk));
-            }
-            match self.layout.read_source(lb, &eff) {
-                ReadSource::Primary(a) | ReadSource::Image(a) => forced_images.push((lb, a)),
-                ReadSource::Reconstruct { siblings, parity } => {
-                    reconstructs.push((lb, siblings, parity))
-                }
-                ReadSource::Lost => return Err(self.classify_loss(client, lb)),
-            }
-        }
-        if let Some(node) = blocked {
-            if self.cfg.max_retries == 0 {
-                return Err(IoError::Unreachable { node, attempts: 1 });
-            }
-            self.timeouts += 1;
-            self.failovers += 1;
-        }
-
-        // Front end: run-level replica selection for the healthy primaries.
-        let block_size = self.block_size();
-        let mut physical: Vec<(usize, u64, u64, Vec<u64>)> = Vec::new(); // disk, start, len, lbs
-        for run in merge_runs(healthy) {
-            let choice = self.balancer.balance_run(self.layout.as_ref(), &eff, block_size, &run);
-            match choice {
-                Some((disk, start)) => physical.push((disk, start, run.len(), run.lbs)),
-                None => physical.push((run.disk, run.start, run.len(), run.lbs)),
-            }
-        }
-
-        // Functional reads.
-        for (disk, start, _, lbs) in &physical {
-            for (i, &lb) in lbs.iter().enumerate() {
-                let off = (lb - lb0) as usize * bs;
-                self.plane.read(*disk, start + i as u64, &mut out[off..off + bs])?;
-            }
-        }
-        for &(lb, a) in &forced_images {
-            let off = (lb - lb0) as usize * bs;
-            self.plane.read(a.disk, a.block, &mut out[off..off + bs])?;
-        }
-        for (lb, siblings, parity) in &reconstructs {
-            let off = (*lb - lb0) as usize * bs;
-            let mut acc = self.plane.read_owned(parity.disk, parity.block)?;
-            for (_, a) in siblings {
-                let sib = self.plane.read_owned(a.disk, a.block)?;
-                xor_into(&mut acc, &sib);
-            }
-            out[off..off + bs].copy_from_slice(&acc);
-        }
-
-        // Timing plan.
-        let ops = self.ops();
-        let mut branches: Vec<Plan> = Vec::new();
-        for (disk, start, len, _) in &physical {
-            branches.push(ops.read_run(client, *disk, *start, *len));
-        }
-        for run in merge_runs(forced_images) {
-            branches.push(ops.read_run(client, run.disk, run.start, run.len()));
-        }
-        for (_, siblings, parity) in &reconstructs {
-            let mut reads: Vec<Plan> =
-                siblings.iter().map(|(_, a)| ops.read_run(client, a.disk, a.block, 1)).collect();
-            reads.push(ops.read_run(client, parity.disk, parity.block, 1));
-            let n_in = reads.len() as u64 + 1;
-            branches.push(seq(vec![par(reads), ops.xor(client, n_in * bs as u64)]));
-        }
-        let mut chain = vec![ops.driver(client)];
-        if blocked.is_some() {
-            // The failed attempt against the unresponsive primary: the
-            // client waits out the full request timeout before retrying
-            // against the replica — failover is bounded, never a hang.
-            chain.push(delay(self.cfg.request_timeout));
-        }
-        chain.push(par(branches));
-        if self.tracer.is_some() {
-            // Reads are lock-free by design; the trace point lets the
-            // analyzer's (off-by-default) read/write auditor see them.
-            let at = self.next_op_tick();
-            self.trace_access(
-                at,
-                hb::client_actor(client),
-                hb::sios_cell(lb0),
-                nblocks,
-                AccessKind::Read,
-            );
-        }
-        Ok((out, seq(chain)))
-    }
-
-    /// Record `lb`'s copy on unavailable `disk` as needing restoration.
-    pub(crate) fn park(&mut self, disk: usize, lb: u64) {
-        self.parked.entry(disk).or_default().insert(lb);
-    }
-
-    /// Fail a disk *permanently*: its contents are lost on the functional
-    /// plane and all planning routes around it. Any image blocks still
-    /// buffered for it in the write-behind queue are drained (flushing
-    /// them later would write into a dead disk and leak queue accounting)
-    /// and parked for the eventual rebuild.
-    pub fn fail_disk(&mut self, disk: usize) {
-        self.faults.insert(disk);
-        self.offline.remove(disk);
-        self.plane.fail(disk);
-        let drained = self.images.remove_disk(disk);
-        if self.tracer.is_some() {
-            let lbs: Vec<u64> = drained.iter().map(|p| p.lb).collect();
-            self.trace_image_drain(&lbs);
-        }
-        for img in drained {
-            self.park(disk, img.lb);
-        }
-    }
-
-    /// Take a disk *transiently* offline: I/O is rejected but the
-    /// contents survive. Pending image-queue entries for it are drained
-    /// and parked, exactly as in [`IoSystem::fail_disk`]; recovery is the
-    /// cheap path — [`IoSystem::recover_disk_transient`] resyncs only the
-    /// parked blocks from surviving copies instead of rebuilding the
-    /// whole disk.
-    pub fn fail_disk_transient(&mut self, disk: usize) {
-        assert!(!self.faults.contains(disk), "disk already permanently failed");
-        self.offline.insert(disk);
-        self.plane.set_offline(disk, true);
-        let drained = self.images.remove_disk(disk);
-        if self.tracer.is_some() {
-            let lbs: Vec<u64> = drained.iter().map(|p| p.lb).collect();
-            self.trace_image_drain(&lbs);
-        }
-        for img in drained {
-            self.park(disk, img.lb);
-        }
-    }
-
-    /// A node crashed: cut it off from the switch and take its disks
-    /// transiently offline (the machine is down; the media survives a
-    /// reboot). Image-queue entries buffered *by* the crashed node are
-    /// re-homed to each target disk's owner node, which holds the
-    /// already-written primary locally.
-    pub fn crash_node(&mut self, node: usize) {
-        self.partitions.partition(node);
-        for g in 0..self.cluster.ndisks() {
-            if self.cluster.node_of_disk(g) == node
-                && !self.faults.contains(g)
-                && !self.offline.contains(g)
-            {
-                self.fail_disk_transient(g);
-            }
-        }
-        let owners: Vec<usize> =
-            (0..self.cluster.ndisks()).map(|g| self.cluster.node_of_disk(g)).collect();
-        self.images.reassign_client(node, |p| owners[p.addr.disk]);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::testkit::{shape, shape_with};
-    use raidx_core::Arch;
-    use sim_core::SimDuration;
-
-    /// Satellite regression: failing a disk must drain that disk's
-    /// buffered image-queue entries (parking them), and the queue's
-    /// length accounting must stay consistent with what remains.
-    #[test]
-    fn fail_disk_drains_pending_image_queue_entries() {
-        let (_engine, mut sys) = shape(4, 2, 8 << 20, Arch::RaidX);
-        let bs = sys.block_size() as usize;
-        for lb in 0..6u64 {
-            sys.write(0, lb, &vec![0x3C; bs]).expect("seed write");
-        }
-        let before = sys.pending_image_blocks();
-        assert!(before > 0, "RAID-x must buffer write-behind images");
-        let img_disk = (0..sys.cluster.ndisks())
-            .find(|&g| sys.images.blocks_on_disk(g) > 0)
-            .expect("some disk has buffered images");
-        sys.fail_disk(img_disk);
-        let after = sys.pending_image_blocks();
-        assert!(after < before, "no entries drained for the failed disk");
-        assert_eq!(
-            before - after,
-            sys.parked_blocks(img_disk),
-            "every drained image must be parked for rebuild"
-        );
-        // Accounting survives a full flush of the survivors.
-        let _ = sys.flush_images();
-        assert_eq!(sys.pending_image_blocks(), 0);
-    }
-
-    /// Transient offline takes the same drain path as permanent failure.
-    #[test]
-    fn transient_offline_also_drains_image_queue() {
-        let (_engine, mut sys) = shape(4, 2, 8 << 20, Arch::RaidX);
-        let bs = sys.block_size() as usize;
-        for lb in 0..6u64 {
-            sys.write(0, lb, &vec![0x3C; bs]).expect("seed write");
-        }
-        let before = sys.pending_image_blocks();
-        let img_disk = (0..sys.cluster.ndisks())
-            .find(|&g| sys.images.blocks_on_disk(g) > 0)
-            .expect("some disk has buffered images");
-        sys.fail_disk_transient(img_disk);
-        assert_eq!(before - sys.pending_image_blocks(), sys.parked_blocks(img_disk));
-        let _ = sys.flush_images();
-        assert_eq!(sys.pending_image_blocks(), 0);
-    }
-
-    /// Satellite: a partitioned peer must surface a *distinct* error —
-    /// not a hang, not `DataLoss` — when retries are disabled.
-    #[test]
-    fn partition_with_retries_disabled_surfaces_unreachable() {
-        let cfg = CddConfig { max_retries: 0, ..CddConfig::default() };
-        let (_engine, mut sys) = shape_with(4, 1, 8 << 20, Arch::RaidX, cfg);
-        let bs = sys.block_size() as usize;
-        let lb = (0..64).find(|&lb| sys.layout().locate_data(lb).disk == 3).expect("lb on disk 3");
-        sys.write(0, lb, &vec![9u8; bs]).expect("healthy write");
-        sys.partition_node(3);
-        match sys.read(0, lb, 1) {
-            Err(IoError::Unreachable { node, attempts }) => {
-                assert_eq!(node, 3);
-                assert_eq!(attempts, 1, "no retries configured, one attempt only");
-            }
-            other => panic!("expected Unreachable, got {other:?}"),
-        }
-        match sys.write(0, lb, &vec![8u8; bs]) {
-            Err(IoError::Unreachable { node, .. }) => assert_eq!(node, 3),
-            other => panic!("expected Unreachable, got {other:?}"),
-        }
-        // The partitioned node itself still reaches its local disk.
-        let (got, _) = sys.read(3, lb, 1).expect("local read survives partition");
-        assert_eq!(got, vec![9u8; bs]);
-    }
-
-    /// Satellite: with retries enabled the client fails over to the
-    /// mirror replica, paying exactly one bounded request timeout —
-    /// never an unbounded wait.
-    #[test]
-    fn partition_failover_is_bounded_by_the_request_timeout() {
-        let (mut engine, mut sys) = shape(4, 1, 8 << 20, Arch::RaidX);
-        let bs = sys.block_size() as usize;
-        let lb = (0..64).find(|&lb| sys.layout().locate_data(lb).disk == 3).expect("lb on disk 3");
-        sys.write(0, lb, &vec![5u8; bs]).expect("healthy write");
-        engine.run().expect("drain seed");
-        sys.partition_node(3);
-        let t0 = engine.now();
-        let (got, plan) = sys.read(0, lb, 1).expect("failover read");
-        assert_eq!(got, vec![5u8; bs], "replica must serve the bytes");
-        assert_eq!(sys.timeouts(), 1);
-        assert_eq!(sys.failovers(), 1);
-        engine.spawn_job("failover-read", plan);
-        engine.run().expect("failover read run");
-        let elapsed = engine.now().since(t0);
-        let timeout = sys.cfg.request_timeout;
-        assert!(elapsed >= timeout, "failover must pay the timed-out attempt");
-        assert!(
-            elapsed < SimDuration(timeout.0 * 2),
-            "failover took {elapsed:?}, expected within 2x the {timeout:?} timeout"
-        );
-    }
-
-    /// A degraded write under a partition parks the unreachable copy and
-    /// still acknowledges; the parked ledger drives the later resync.
-    #[test]
-    fn degraded_write_parks_unreachable_copies() {
-        let (_engine, mut sys) = shape(4, 1, 8 << 20, Arch::RaidX);
-        let bs = sys.block_size() as usize;
-        sys.partition_node(2);
-        let lb = (0..64)
-            .find(|&lb| {
-                sys.layout().locate_images(lb).iter().any(|a| a.disk == 2)
-                    && sys.layout().locate_data(lb).disk != 2
-            })
-            .expect("lb imaged on disk 2");
-        sys.write(0, lb, &vec![0xEE; bs]).expect("degraded write");
-        assert!(sys.parked_blocks(2) > 0, "unreachable image must be parked");
-        let (got, _) = sys.read(0, lb, 1).expect("read around the partition");
-        assert_eq!(got, vec![0xEE; bs]);
-    }
-
-    /// Crashing a node takes its disks transiently offline, partitions
-    /// it, and re-homes its buffered image flushes.
-    #[test]
-    fn crash_node_combines_partition_and_transient_disks() {
-        let (_engine, mut sys) = shape(4, 2, 8 << 20, Arch::RaidX);
-        let bs = sys.block_size() as usize;
-        for lb in 0..4u64 {
-            sys.write(2, lb, &vec![1u8; bs]).expect("seed");
-        }
-        sys.crash_node(2);
-        assert!(sys.partitions().is_partitioned(2));
-        for g in 0..sys.cluster.ndisks() {
-            if sys.cluster.node_of_disk(g) == 2 {
-                assert!(sys.offline_disks().contains(g), "disk {g} should be offline");
-            }
-        }
-        // Remaining buffered images must not be owned by the dead node.
-        let drained = sys.images.drain_all();
-        assert!(drained.iter().all(|p| p.client != 2), "crashed node still owns flushes");
     }
 }

@@ -78,6 +78,26 @@ impl Cluster {
         Cluster { cfg, nodes, disks }
     }
 
+    /// Hot-add one disk to the single I/O space and return its global
+    /// number. The new disk follows the same numbering, bus attachment
+    /// and seed-substream rules as boot-time disks, so a disk added at
+    /// runtime as global number `g` is indistinguishable from one built
+    /// as `g` — runs that reconfigure stay deterministic.
+    pub fn add_disk(&mut self, engine: &mut Engine) -> usize {
+        let g = self.disks.len();
+        let node = g % self.cfg.nodes;
+        let root_rng = SplitMix64::new(self.cfg.seed);
+        let res = engine.add_resource(
+            format!("disk{g}@node{node}"),
+            Box::new(DiskModel::new(
+                self.cfg.disk.clone(),
+                root_rng.substream(g as u64).next_u64(),
+            )),
+        );
+        self.disks.push(DiskRef { res, bus: self.nodes[node].bus, node });
+        g
+    }
+
     /// Total disks in the single I/O space.
     pub fn ndisks(&self) -> usize {
         self.disks.len()

@@ -205,6 +205,26 @@ impl DataPlane {
     pub fn failed_disks(&self) -> Vec<usize> {
         self.disks.iter().enumerate().filter_map(|(i, d)| d.failed.then_some(i)).collect()
     }
+
+    /// Hot-add a blank healthy disk (same block size and capacity as the
+    /// rest of the plane) and return its index. Supports epoch-versioned
+    /// membership changes: the new disk joins as a spare and holds no
+    /// data until a migration copies blocks onto it.
+    pub fn add_disk(&mut self) -> usize {
+        self.disks.push(SparseDisk { blocks: HashMap::new(), failed: false, offline: false });
+        self.disks.len() - 1
+    }
+
+    /// Sorted indices of the blocks that currently hold written data on
+    /// `disk`. This is the pending-migration seed when a slot moves off
+    /// the disk: only blocks that were ever written need copying. Sorted
+    /// so iteration over the sparse store stays deterministic.
+    pub fn written_blocks(&self, disk: usize) -> Vec<u64> {
+        // det-ok: sorted immediately below before anything observes it.
+        let mut v: Vec<u64> = self.disks[disk].blocks.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
 }
 
 /// XOR `src` into `acc` (parity accumulation). Lengths must match.

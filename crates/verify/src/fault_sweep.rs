@@ -46,17 +46,33 @@ pub enum FaultKind {
     /// Disk slowdown (timing-only fault), injected on a *timed* trigger;
     /// restored mid-script.
     Slow,
+    /// Membership reconfiguration: a spare is hot-added at the injection
+    /// point and the target disk retired onto it a few ops later, so the
+    /// script's tail runs against an in-flight migration. Drained after
+    /// the script via the incremental rebalance.
+    Reconfig,
+    /// Whole-disk replace (`DiskAdd` + `DiskRemove` as one event) fired
+    /// at the injection point; the migration drains after the script.
+    Replace,
 }
 
 impl FaultKind {
     /// Every fault class, in sweep order.
-    pub const ALL: [FaultKind; 5] = [
+    pub const ALL: [FaultKind; 7] = [
         FaultKind::Permanent,
         FaultKind::Transient,
         FaultKind::Partition,
         FaultKind::Crash,
         FaultKind::Slow,
+        FaultKind::Reconfig,
+        FaultKind::Replace,
     ];
+
+    /// True for the membership-reconfiguration classes, which leave a
+    /// migration in flight for the scenario to drain after the script.
+    pub fn is_reconfig(self) -> bool {
+        matches!(self, FaultKind::Reconfig | FaultKind::Replace)
+    }
 }
 
 /// One cell of the sweep: an architecture, a fault class and the op
@@ -99,8 +115,11 @@ const REPAIR_GAP: usize = 6;
 /// injection points (early, middle, late). `smoke` cuts it to two fault
 /// classes at the middle point — the CI stage.
 pub fn scenarios(smoke: bool) -> Vec<SweepScenario> {
-    let kinds: &[FaultKind] =
-        if smoke { &[FaultKind::Permanent, FaultKind::Crash] } else { &FaultKind::ALL };
+    let kinds: &[FaultKind] = if smoke {
+        &[FaultKind::Permanent, FaultKind::Crash, FaultKind::Reconfig]
+    } else {
+        &FaultKind::ALL
+    };
     let points: &[usize] = if smoke { &[18] } else { &[2, 18, 32] };
     let mut out = Vec::new();
     for arch in Arch::ALL {
@@ -138,6 +157,13 @@ fn build_plan(kind: FaultKind, inject_at: usize) -> FaultPlan<FaultEvent> {
             plan.at(SimTime(1_500_000), FaultEvent::DiskSlow { disk: TARGET_DISK, factor: 6 });
             plan.at_point(repair, 1, FaultEvent::DiskSlow { disk: TARGET_DISK, factor: 1 });
         }
+        FaultKind::Reconfig => {
+            plan.at_point(inject, 1, FaultEvent::DiskAdd { client: DRIVER });
+            plan.at_point(repair, 1, FaultEvent::DiskRemove { disk: TARGET_DISK, client: DRIVER });
+        }
+        FaultKind::Replace => {
+            plan.at_point(inject, 1, FaultEvent::DiskReplace { disk: TARGET_DISK, client: DRIVER });
+        }
     }
     plan
 }
@@ -156,6 +182,17 @@ fn post_recovery_problems(sys: &mut IoSystem, kind: FaultKind) -> Vec<String> {
         }
         if sys.parked_total() != 0 {
             problems.push(format!("{} blocks still parked after recovery", sys.parked_total()));
+        }
+    }
+    if kind.is_reconfig() {
+        if sys.migration_pending() != 0 {
+            problems.push(format!("{} blocks still pending migration", sys.migration_pending()));
+        }
+        if sys.cluster_map().slot_of(TARGET_DISK).is_some() {
+            problems.push("retired disk still serves a slot".into());
+        }
+        if sys.epoch() < 2 {
+            problems.push(format!("epoch {} after add+remove, expected >= 2", sys.epoch()));
         }
     }
     match sys.scrub() {
@@ -192,6 +229,20 @@ pub fn run_scenario(sc: &SweepScenario) -> SweepOutcome {
                         engine.run().expect("rebuild deadlocked");
                     }
                     Err(e) => problems.push(format!("rebuild failed: {e}")),
+                }
+            }
+            // The reconfiguration classes drain the in-flight migration
+            // after the script, like an operator finishing a rebalance.
+            if sc.kind.is_reconfig() {
+                match sys.rebalance(DRIVER, None) {
+                    Ok(o) => {
+                        if !o.finished {
+                            problems.push("rebalance did not drain the migration".into());
+                        }
+                        engine.spawn_job("rebalance", o.plan);
+                        engine.run().expect("rebalance deadlocked");
+                    }
+                    Err(e) => problems.push(format!("rebalance failed: {e}")),
                 }
             }
             if out.failed > 0 {
@@ -261,8 +312,8 @@ mod tests {
 
     #[test]
     fn full_grid_enumerates_all_cells() {
-        assert_eq!(scenarios(false).len(), 4 * 5 * 3);
-        assert_eq!(scenarios(true).len(), 4 * 2);
+        assert_eq!(scenarios(false).len(), 4 * 7 * 3);
+        assert_eq!(scenarios(true).len(), 4 * 3);
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! prefixes are explored once.
 
 use crate::report::PassReport;
-use cdd::proto::{scenario_reader, scenario_three, CddModel, HistOp, OpRecord, Scenario};
+use cdd::proto::{
+    scenario_epoch, scenario_reader, scenario_three, CddModel, HistOp, OpRecord, Scenario,
+};
 use cdd::Defect;
 use sim_core::explore::Explorer;
 use std::collections::BTreeSet;
@@ -112,6 +114,7 @@ pub fn run_pass(budget: u64) -> PassReport {
     let mut rep = PassReport::new("linearizability");
     check_scenario(&mut rep, scenario_reader(Defect::None), budget);
     check_scenario(&mut rep, scenario_three(Defect::None), budget);
+    check_scenario(&mut rep, scenario_epoch(Defect::None), budget);
     // Canary: an unlocked reader must produce a torn (non-linearizable)
     // read on some schedule.
     let sc = scenario_reader(Defect::UnlockedRead);
@@ -125,6 +128,21 @@ pub fn run_pass(budget: u64) -> PassReport {
         match &r.failure {
             Some(f) => format!("caught: {f}"),
             None => "checker missed a planted unlocked read".to_string(),
+        },
+    );
+    // Canary: a migration copy that skips the pending re-validation must
+    // produce a stale (non-linearizable) read on some schedule.
+    let sc = scenario_epoch(Defect::UnsyncedReconfig);
+    let blocks = sc.blocks;
+    let m = CddModel::new(sc);
+    let ex = Explorer { max_schedules: budget.max(1), ..Explorer::default() };
+    let r = ex.explore_with(&m, |s| check_history(blocks, &s.history));
+    rep.push(
+        "canary: planted unsynced migration is caught",
+        r.failure.is_some(),
+        match &r.failure {
+            Some(f) => format!("caught: {f}"),
+            None => "checker missed a planted unsynced migration".to_string(),
         },
     );
     rep
@@ -180,7 +198,7 @@ mod tests {
     fn clean_pass_reports_zero_findings() {
         let rep = run_pass(crate::model_check::DEFAULT_BUDGET);
         assert!(rep.all_ok(), "{}", rep.render());
-        assert_eq!(rep.checks.len(), 3);
+        assert_eq!(rep.checks.len(), 5);
     }
 
     #[test]
@@ -193,6 +211,18 @@ mod tests {
         );
         assert_eq!(rep.failures(), 1, "{}", rep.render());
         assert!(rep.checks[0].detail.contains("leaf check"), "{}", rep.checks[0].detail);
+    }
+
+    #[test]
+    fn seeded_unsynced_reconfig_produces_stale_read() {
+        let mut rep = PassReport::new("linearizability");
+        check_scenario(
+            &mut rep,
+            scenario_epoch(Defect::UnsyncedReconfig),
+            crate::model_check::DEFAULT_BUDGET,
+        );
+        assert_eq!(rep.failures(), 1, "{}", rep.render());
+        assert!(rep.checks[0].detail.contains("no linearization"), "{}", rep.checks[0].detail);
     }
 
     #[test]

@@ -26,6 +26,12 @@ echo "==> static-analysis (raidx-analyze parser rules + planted canaries)"
 # should name the offending rule family in the CI log directly.
 cargo run --release -p bench --bin verify_all -- --pass static-analysis --smoke
 
+echo "==> reconfig (epoch transitions: stale-epoch admission + reads vs model mid-rebalance)"
+# Dedicated stage so a membership/rebalance regression names itself in
+# the CI log; the fault-sweep reconfiguration cells also run in the
+# combined verify_all stage below.
+cargo test -q -p cdd --test reconfig
+
 echo "==> perf-smoke (engine work counters vs BENCH_engine.json + profiler transparency)"
 # Gates the deterministic work counters only — wall-clock figures in the
 # baseline are advisory. An intentional engine change regenerates the
