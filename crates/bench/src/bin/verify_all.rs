@@ -15,9 +15,12 @@
 //! byte-for-byte and replays fingerprint-identically), the happens-before
 //! race detector over merged engine + protocol traces, the
 //! parser-based whole-workspace static analyzer (`raidx-analyze`: five
-//! rule families with planted-defect canaries), and the perf-smoke gate
+//! rule families with planted-defect canaries), the perf-smoke gate
 //! (deterministic engine work counters vs the committed
-//! `BENCH_engine.json` baseline, plus profiler transparency).
+//! `BENCH_engine.json` baseline, plus profiler transparency), and the
+//! cache-coherence gate (model check + linearizability of the caching
+//! scenario with a skip-invalidation canary, cached-vs-uncached
+//! transparency on every architecture, the Zipf hit-rate/speedup gate).
 //!
 //! `--pass <name>` (repeatable, hyphens and underscores interchangeable;
 //! `source-scan` is kept as an alias for `static-analysis`, which
@@ -35,8 +38,8 @@ use cluster::ClusterConfig;
 use raidx_core::Arch;
 use raidx_verify::{analyze_lock_trace, audit_workload, conformance_sweep, lint_io_paths};
 use raidx_verify::{
-    crash_consistency, fault_sweep, linearizability, model_check, perf_smoke, race_detect,
-    static_analysis, trace_determinism,
+    cache_coherence, crash_consistency, fault_sweep, linearizability, model_check, perf_smoke,
+    race_detect, static_analysis, trace_determinism,
 };
 use raidx_verify::{report, report::PassReport, source_scan};
 use sim_core::Engine;
@@ -123,7 +126,7 @@ fn determinism_pass() -> PassReport {
 
 /// Registry of every pass with a one-line description, in execution
 /// order (the order `--list-passes` prints and a full run executes).
-const PASSES: [(&str, &str); 12] = [
+const PASSES: [(&str, &str); 13] = [
     ("plan-lint", "reject Plan DAG shapes that would panic or deadlock the event loop"),
     ("lock-order", "replay recorded lock-group traces for double grants, leaks and order cycles"),
     ("layout-conformance", "exhaustive OSM/parity/mirror placement rules across array shapes"),
@@ -136,6 +139,7 @@ const PASSES: [(&str, &str); 12] = [
     ("race-detect", "vector-clock happens-before races and same-tick commutativity violations"),
     ("static-analysis", "parser-based workspace rules: determinism scopes, trigger conformance, wildcard arms, lock discipline, hygiene"),
     ("perf-smoke", "deterministic engine work counters vs the BENCH_engine.json baseline, plus profiler transparency"),
+    ("cache-coherence", "client block-cache gate: model check + linearizability with a skip-invalidation canary, cached-vs-uncached transparency, Zipf hit-rate/speedup"),
 ];
 
 fn pass_names() -> Vec<&'static str> {
@@ -165,6 +169,7 @@ fn run_pass(name: &str, budget: u64, smoke: bool) -> PassReport {
                 .expect("repo root");
             perf_smoke::run_pass(repo_root)
         }
+        "cache-coherence" => cache_coherence::run_pass(budget),
         other => unreachable!("unregistered pass {other}"),
     }
 }

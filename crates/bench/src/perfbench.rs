@@ -14,7 +14,9 @@
 //!
 //! The gated rows (`perf_smoke`, `model_check_budget`) call straight
 //! into [`raidx_verify::perf_smoke`] so the baseline writer and the
-//! verify gate can never drift apart. On top of the scenario table the
+//! verify gate can never drift apart; the `zipf_cache` row likewise
+//! calls [`raidx_verify::cache_coherence::zipf_cache_work`], whose
+//! hit-rate/speedup counters verify pass 13 gates directly. On top of the scenario table the
 //! harness measures profiler-on overhead against the same workload and
 //! snapshots a per-phase host attribution ([`sim_core::ProfReport`]) for
 //! the Perfetto host-track export.
@@ -24,6 +26,7 @@ use std::time::Instant;
 use cluster::ClusterConfig;
 use raidx_core::Arch;
 use raidx_verify::benchfile::BenchScenario;
+use raidx_verify::cache_coherence;
 use raidx_verify::fault_sweep::{self, FaultKind, SweepScenario};
 use raidx_verify::perf_smoke;
 use sim_core::prof::{HostProfiler, ProfReport};
@@ -133,7 +136,12 @@ fn scenario_list(smoke: bool) -> Vec<Scenario> {
         name: "fault_smoke",
         rate: "trace_events",
         run: Box::new(|| {
-            let sc = SweepScenario { arch: Arch::RaidX, kind: FaultKind::Permanent, inject_at: 18 };
+            let sc = SweepScenario {
+                arch: Arch::RaidX,
+                kind: FaultKind::Permanent,
+                inject_at: 18,
+                cached: false,
+            };
             let outcome = fault_sweep::run_scenario(&sc);
             vec![
                 ("trace_events".to_string(), outcome.events as u64),
@@ -147,7 +155,12 @@ fn scenario_list(smoke: bool) -> Vec<Scenario> {
         run: Box::new(|| {
             // Disk add + retire mid-workload, migration drained after the
             // script: tracks rebalance throughput next to fault recovery.
-            let sc = SweepScenario { arch: Arch::RaidX, kind: FaultKind::Reconfig, inject_at: 18 };
+            let sc = SweepScenario {
+                arch: Arch::RaidX,
+                kind: FaultKind::Reconfig,
+                inject_at: 18,
+                cached: false,
+            };
             let outcome = fault_sweep::run_scenario(&sc);
             vec![
                 ("trace_events".to_string(), outcome.events as u64),
@@ -159,6 +172,13 @@ fn scenario_list(smoke: bool) -> Vec<Scenario> {
         name: perf_smoke::MODEL_NAME,
         rate: "steps",
         run: Box::new(perf_smoke::model_budget_work),
+    });
+    out.push(Scenario {
+        name: cache_coherence::ZIPF_NAME,
+        rate: "cache_hits",
+        // Cached + uncached runs of the shared Zipf read workload; the
+        // hit-rate and speedup counters are what verify pass 13 gates.
+        run: Box::new(cache_coherence::zipf_cache_work),
     });
     if !smoke {
         // Deliberately oversized cluster: the scaling canary tracks how
@@ -316,6 +336,7 @@ mod tests {
             "fault_smoke",
             "reconfig_smoke",
             "model_check_budget",
+            "zipf_cache",
             "scale_canary_64",
         ] {
             assert!(names.contains(&required), "missing {required}");

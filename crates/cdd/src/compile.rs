@@ -22,6 +22,24 @@ pub(crate) enum MicroStep {
     Read {
         lb: u64,
     },
+    /// Lock-free cached read of one block: hit serves the client's
+    /// cached value, miss reads the store and fills the cache — one
+    /// atomic action, like the real cache's fill under the driver.
+    CacheRead {
+        lb: u64,
+    },
+    /// Coherent store write: update the block *and* drop every client's
+    /// cached copy of it in one atomic action — the write grant carries
+    /// the invalidation, and the implementation performs both under the
+    /// same grant with no read able to interleave. Splitting them would
+    /// itself be the bug: any window between the store update and the
+    /// purge lets one reader observe the new value while another still
+    /// hits its stale copy. [`Defect::SkipInvalidate`] plants exactly
+    /// that bug by compiling a plain `Write` instead.
+    WriteInv {
+        lb: u64,
+        val: u64,
+    },
     Release,
     /// Epoch transition: placement flips, the migrating block goes pending.
     Bump,
@@ -38,6 +56,12 @@ pub(crate) enum MicroStep {
 pub(crate) struct CompiledOp {
     pub(crate) op: ProtoOp,
     pub(crate) steps: Vec<MicroStep>,
+}
+
+/// Whether any client of the scenario scripts a lock-free cached read —
+/// the trigger for emitting writer-side invalidation micro-steps.
+fn has_cached_reader(sc: &Scenario) -> bool {
+    sc.scripts.iter().flatten().any(|op| matches!(op, ProtoOp::CachedReadGroup { .. }))
 }
 
 pub(crate) fn compile_op(op: &ProtoOp, sc: &Scenario, client: usize) -> CompiledOp {
@@ -61,17 +85,35 @@ pub(crate) fn compile_op(op: &ProtoOp, sc: &Scenario, client: usize) -> Compiled
                 }
                 _ => steps.push(MicroStep::Acquire { start, len }),
             }
+            // Invalidations ride the write grant — but only in scenarios
+            // that actually script cached readers, so scenarios without a
+            // cache keep their exact historical step sequences (and the
+            // perf gate's exploration work counters).
+            let coherent = has_cached_reader(sc) && defect != Defect::SkipInvalidate;
+            let write_step = |lb: u64| {
+                if coherent {
+                    MicroStep::WriteInv { lb, val }
+                } else {
+                    MicroStep::Write { lb, val }
+                }
+            };
             if defect == Defect::EarlyRelease && len > 1 {
-                steps.push(MicroStep::Write { lb: start, val });
+                steps.push(write_step(start));
                 steps.push(MicroStep::Release);
                 for lb in start + 1..start + len {
-                    steps.push(MicroStep::Write { lb, val });
+                    steps.push(write_step(lb));
                 }
             } else {
                 for lb in start..start + len {
-                    steps.push(MicroStep::Write { lb, val });
+                    steps.push(write_step(lb));
                 }
                 steps.push(MicroStep::Release);
+            }
+        }
+        ProtoOp::CachedReadGroup { start, len } => {
+            // Lock-free by design: coherence is the writers' problem.
+            for lb in start..start + len {
+                steps.push(MicroStep::CacheRead { lb });
             }
         }
         ProtoOp::ReadGroup { start, len } => {

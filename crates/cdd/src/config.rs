@@ -61,6 +61,14 @@ pub struct CddConfig {
     /// unreachable primary surfaces [`crate::IoError::Unreachable`]
     /// immediately.
     pub max_retries: u32,
+    /// Per-client block cache in front of the read path
+    /// ([`crate::cache`]). `None` (the default) disables caching — the
+    /// system is byte- and plan-identical to an uncached build, which
+    /// the determinism fingerprints gate. `Some` enables it with the
+    /// given capacity; coherence rides the lock-group grant path
+    /// (write-invalidate through the replicated table) and membership
+    /// epoch bumps flush every cached extent.
+    pub cache: Option<crate::cache::CacheConfig>,
 }
 
 impl Default for CddConfig {
@@ -76,6 +84,7 @@ impl Default for CddConfig {
             read_balance: ReadBalance::default(),
             request_timeout: SimDuration::from_millis(50),
             max_retries: 2,
+            cache: None,
         }
     }
 }
@@ -94,5 +103,6 @@ mod tests {
         assert!(c.max_image_backlog.is_none(), "write-behind is unbounded by default");
         assert!(c.request_timeout > SimDuration::from_millis(10), "timeout >> disk service time");
         assert!(c.max_retries >= 1, "failover must be on by default");
+        assert!(c.cache.is_none(), "client caching is off by default (byte-identical runs)");
     }
 }

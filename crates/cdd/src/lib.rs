@@ -21,6 +21,7 @@
 //! | module | layer |
 //! |---|---|
 //! | [`frontend`] | front end / admission: range + length validation (shared with `nfs_sim`), run coalescing, read replica selection |
+//! | [`cache`] | per-client block cache in front of the read path, kept coherent by write-grant invalidations and epoch flushes |
 //! | [`locks`] | consistency module: the replicated lock-group table |
 //! | [`scheme`] | scheme drivers: one [`scheme::SchemeDriver`] per [`raidx_core::WriteScheme`] (plain / mirror; parity in [`parity`]) |
 //! | [`image_queue`] | data plane write-behind: the bounded OSM [`image_queue::ImageQueue`] |
@@ -41,6 +42,7 @@
 //! explorable compilation, micro-steps in the private `compile` module) and [`testkit`] (shared test/bench
 //! constructors).
 
+pub mod cache;
 mod compile;
 pub mod config;
 pub mod datapath;
@@ -64,6 +66,7 @@ pub mod store;
 pub mod system;
 pub mod testkit;
 
+pub use cache::{CacheConfig, CacheStats};
 pub use config::{CddConfig, ReadBalance};
 pub use error::IoError;
 pub use fault::{FaultEvent, FaultInjector};

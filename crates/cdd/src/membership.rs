@@ -73,6 +73,10 @@ impl IoSystem {
     /// disks (and it loses access to theirs) until [`IoSystem::heal_node`].
     pub fn partition_node(&mut self, node: usize) {
         self.partitions.partition(node);
+        // A cut-off node can no longer hear write-grant invalidations,
+        // so its cached extents are untrustworthy the moment the cable
+        // drops — discard them all.
+        self.cache_flush_node(node);
     }
 
     /// Reconnect `node`. The caller should then resync the blocks parked
@@ -134,6 +138,9 @@ impl IoSystem {
     /// already-written primary locally.
     pub fn crash_node(&mut self, node: usize) {
         self.partitions.partition(node);
+        // Same reasoning as `partition_node`: the crashed node's cache
+        // dies with it (and must come back empty after a reboot).
+        self.cache_flush_node(node);
         for g in 0..self.cluster.ndisks() {
             if self.cluster.node_of_disk(g) == node
                 && !self.faults.contains(g)
@@ -159,6 +166,10 @@ impl IoSystem {
         let p = self.plane.add_disk();
         let s = self.placer.add_spare();
         debug_assert!(g == p && p == s, "disk id spaces diverged: {g}/{p}/{s}");
+        // Membership epoch bump: flush every client's cache while the
+        // meta lock is held, preserving the StaleEpoch admission story —
+        // no cached extent may straddle an epoch transition.
+        self.cache_flush_all();
         self.locks.release(lock);
         Ok(g)
     }
@@ -226,6 +237,9 @@ impl IoSystem {
         // of the array, and the slot's health tracks the new home now.
         self.faults.remove(phys);
         self.offline.remove(phys);
+        // Epoch transition: cached extents must not survive a placement
+        // change (same rule as `add_disk`).
+        self.cache_flush_all();
         self.locks.release(lock);
         Ok(spare)
     }

@@ -21,6 +21,8 @@
 //! checker's tests can prove each detection path actually fires; see the
 //! variant docs for which signal catches which bug.
 
+use std::collections::BTreeMap;
+
 use crate::compile::{compile_op, CompiledOp, MicroStep};
 use crate::locks::{LockGroupTable, LockHandle};
 use sim_core::explore::{Footprint, Model, ThreadId};
@@ -37,8 +39,8 @@ pub fn block_cell(lb: u64) -> u64 {
 // records) lives in `crate::scenarios`; re-exported here so the
 // `cdd::proto::*` paths the verify passes use keep working.
 pub use crate::scenarios::{
-    scenario_contended, scenario_epoch, scenario_reader, scenario_three, Defect, HistOp, OpRecord,
-    ProtoOp, Scenario,
+    scenario_cache, scenario_contended, scenario_epoch, scenario_reader, scenario_three, Defect,
+    HistOp, OpRecord, ProtoOp, Scenario,
 };
 
 /// Per-client execution state.
@@ -70,6 +72,11 @@ pub struct ProtoState {
     pub pending: bool,
     /// Global step counter (real-time order for inv/resp stamps).
     pub steps: u64,
+    /// Per-client block caches (block → cached value) backing the
+    /// lock-free [`ProtoOp::CachedReadGroup`] micro-steps; writers'
+    /// coherent `WriteInv` micro-steps purge entries from every cache
+    /// atomically with the store update.
+    pub caches: Vec<BTreeMap<u64, u64>>,
     /// Per-client execution state.
     pub clients: Vec<ClientState>,
 }
@@ -118,6 +125,7 @@ impl Model for CddModel {
             shadow: 0,
             pending: false,
             steps: 0,
+            caches: self.programs.iter().map(|_| BTreeMap::new()).collect(),
             clients: self
                 .programs
                 .iter()
@@ -151,6 +159,12 @@ impl Model for CddModel {
             MicroStep::Write { lb, .. } | MicroStep::Read { lb } => {
                 Footprint::cells(vec![block_cell(lb)])
             }
+            // Cached reads and coherent writes race through the block's
+            // coherence state: both touch the block cell so the explorer
+            // interleaves them against each other and plain accesses.
+            MicroStep::CacheRead { lb } | MicroStep::WriteInv { lb, .. } => {
+                Footprint::cells(vec![block_cell(lb)])
+            }
             // Both touch the migrating block's routing state (epoch /
             // pending / shadow), which its reads and writes consult.
             MicroStep::Bump | MicroStep::Migrate { .. } => {
@@ -182,7 +196,7 @@ impl Model for CddModel {
                     advance = false;
                 }
             },
-            MicroStep::Write { lb, val } => {
+            MicroStep::Write { lb, val } | MicroStep::WriteInv { lb, val } => {
                 if self.scenario.assert_coverage {
                     let covered = s.clients[t].handles.iter().any(|&h| {
                         s.table
@@ -204,6 +218,13 @@ impl Model for CddModel {
                 } else {
                     s.store[lb as usize] = val;
                 }
+                if matches!(comp.steps[step_idx], MicroStep::WriteInv { .. }) {
+                    // The grant's coherence action, atomic with the store
+                    // update: no client may keep a superseded copy.
+                    for cache in &mut s.caches {
+                        cache.remove(&lb);
+                    }
+                }
             }
             MicroStep::Read { lb } => {
                 let v = if self.scenario.mig == Some(lb) && s.epoch > 0 {
@@ -214,6 +235,27 @@ impl Model for CddModel {
                     }
                 } else {
                     s.store[lb as usize]
+                };
+                s.clients[t].read_vals.push(v);
+            }
+            MicroStep::CacheRead { lb } => {
+                let v = match s.caches[t].get(&lb) {
+                    Some(&v) => v,
+                    None => {
+                        // Miss: read the store (same epoch routing as a
+                        // plain read) and fill the client's cache.
+                        let v = if self.scenario.mig == Some(lb) && s.epoch > 0 {
+                            if s.pending {
+                                s.store[lb as usize]
+                            } else {
+                                s.shadow
+                            }
+                        } else {
+                            s.store[lb as usize]
+                        };
+                        s.caches[t].insert(lb, v);
+                        v
+                    }
                 };
                 s.clients[t].read_vals.push(v);
             }
@@ -251,7 +293,7 @@ impl Model for CddModel {
                     ProtoOp::WriteGroup { start, len, val } => {
                         Some(HistOp::Write { start: *start, len: *len, val: *val })
                     }
-                    ProtoOp::ReadGroup { start, .. } => {
+                    ProtoOp::ReadGroup { start, .. } | ProtoOp::CachedReadGroup { start, .. } => {
                         Some(HistOp::Read { start: *start, vals: std::mem::take(&mut c.read_vals) })
                     }
                     // A migration preserves contents: no logical effect.
@@ -294,7 +336,52 @@ mod tests {
             scenario_reader(Defect::None),
             scenario_three(Defect::None),
             scenario_epoch(Defect::None),
+            scenario_cache(Defect::None),
         ]
+    }
+
+    /// The values client 0's two cached reads returned, in program order.
+    fn client0_reads(s: &ProtoState) -> Vec<u64> {
+        s.history
+            .iter()
+            .filter(|r| r.client == 0)
+            .filter_map(|r| match &r.op {
+                HistOp::Read { vals, .. } => Some(vals[0]),
+                HistOp::Write { .. } => None,
+            })
+            .collect()
+    }
+
+    /// Faithful protocol: the write grant's invalidation purges the
+    /// reader's cached copy, so a read issued after the write completes
+    /// misses and returns the new value.
+    #[test]
+    fn grant_invalidation_keeps_cached_reads_fresh() {
+        let m = CddModel::new(scenario_cache(Defect::None));
+        // c0 fills its cache (0), the writer runs to completion
+        // (acquire, coherent write, release), then c0 reads again.
+        let (s, fail) = sim_core::explore::replay(&m, &[0, 1, 1, 1, 0], 64);
+        assert!(fail.is_none(), "{fail:?}");
+        assert_eq!(client0_reads(&s), vec![0, 42], "post-write read must miss and see 42");
+    }
+
+    /// Planted defect: skipping the invalidation leaves the stale cached
+    /// value visible *after* the write's response — the non-linearizable
+    /// history the verify pass's checker must reject.
+    #[test]
+    fn skip_invalidate_serves_a_stale_read_after_the_write() {
+        let m = CddModel::new(scenario_cache(Defect::SkipInvalidate));
+        let (s, fail) = sim_core::explore::replay(&m, &[0, 1, 1, 1, 0], 64);
+        assert!(fail.is_none(), "{fail:?}");
+        assert_eq!(client0_reads(&s), vec![0, 0], "stale cached value must survive the write");
+        let write_resp = s
+            .history
+            .iter()
+            .find(|r| matches!(r.op, HistOp::Write { .. }))
+            .expect("write completed")
+            .resp;
+        let second_read = s.history.iter().filter(|r| r.client == 0).nth(1).expect("second read");
+        assert!(second_read.inv > write_resp, "the stale read starts after the write responds");
     }
 
     #[test]

@@ -23,6 +23,16 @@ pub enum ProtoOp {
         /// Blocks in the group.
         len: u64,
     },
+    /// Lock-free read of every block through the client's local cache:
+    /// a hit serves the cached value, a miss reads the store and fills.
+    /// Coherence comes from writers' invalidation micro-steps riding
+    /// their grant — exactly the [`crate::cache`] protocol.
+    CachedReadGroup {
+        /// First logical block of the group.
+        start: u64,
+        /// Blocks in the group.
+        len: u64,
+    },
     /// An operator's epoch transition over the scenario's migrating block
     /// ([`Scenario::mig`]): bump the epoch under the reserved meta lock
     /// (placement flips, the block becomes pending), then copy the block
@@ -59,6 +69,12 @@ pub enum Defect {
     /// write with the stale old-home bytes. Caught as a non-linearizable
     /// (stale) read by the history checker.
     UnsyncedReconfig,
+    /// Writers skip the cache invalidation their grant is supposed to
+    /// carry (a plain store write instead of the coherent
+    /// write-and-purge), so a cached read issued strictly after the
+    /// write completes can still return the superseded value. Caught as
+    /// a non-linearizable (stale) read by the history checker.
+    SkipInvalidate,
 }
 
 /// A named multi-client scenario for the model checker.
@@ -149,6 +165,34 @@ pub fn scenario_epoch(defect: Defect) -> Scenario {
         defect,
         assert_coverage: false,
         mig: Some(0),
+    }
+}
+
+/// A writer racing two caching readers over one block — the scenario
+/// proving write-grant invalidation is what keeps client caches
+/// coherent. Each reader reads twice so at least one read can land
+/// strictly after the write completes: with the faithful protocol that
+/// read always sees the new value (the grant invalidated the cached
+/// copy); with [`Defect::SkipInvalidate`] it can return the stale cached
+/// value, which the linearizability checker rejects.
+pub fn scenario_cache(defect: Defect) -> Scenario {
+    Scenario {
+        name: "cache-coherence",
+        blocks: 1,
+        scripts: vec![
+            vec![
+                ProtoOp::CachedReadGroup { start: 0, len: 1 },
+                ProtoOp::CachedReadGroup { start: 0, len: 1 },
+            ],
+            vec![ProtoOp::WriteGroup { start: 0, len: 1, val: 42 }],
+            vec![
+                ProtoOp::CachedReadGroup { start: 0, len: 1 },
+                ProtoOp::CachedReadGroup { start: 0, len: 1 },
+            ],
+        ],
+        defect,
+        assert_coverage: true,
+        mig: None,
     }
 }
 

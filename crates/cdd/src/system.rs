@@ -101,6 +101,10 @@ pub struct IoSystem {
     /// update is logically instantaneous), so every op's accesses share
     /// a timestamp distinct from every other op's.
     pub(crate) trace_ticks: u64,
+    /// Per-client block caches with lock-group-grant coherence
+    /// ([`crate::cache`]); `None` (the default) keeps every request path
+    /// byte- and plan-identical to an uncached build.
+    pub(crate) cache: Option<crate::cache::CacheSet>,
 }
 
 impl IoSystem {
@@ -124,8 +128,10 @@ impl IoSystem {
             blocks_per_disk,
         );
         let total_disks = cluster_cfg.total_disks();
+        let nodes = cluster_cfg.nodes;
         let cluster = Cluster::build(cluster_cfg, engine);
         let balancer = ReadBalancer::new(cfg.read_balance, total_disks);
+        let cache = cfg.cache.map(|c| crate::cache::CacheSet::new(c, nodes));
         IoSystem {
             cluster,
             plane,
@@ -147,6 +153,7 @@ impl IoSystem {
             failovers: 0,
             tracer: None,
             trace_ticks: 0,
+            cache,
         }
     }
 

@@ -1,0 +1,79 @@
+//! Partition and failover behaviour of the request paths (moved from
+//! `src/datapath.rs` unit tests when the client cache landed there).
+
+use cdd::testkit::{shape, shape_with};
+use cdd::{CddConfig, IoError};
+use raidx_core::Arch;
+use sim_core::SimDuration;
+
+/// Satellite: a partitioned peer must surface a *distinct* error —
+/// not a hang, not `DataLoss` — when retries are disabled.
+#[test]
+fn partition_with_retries_disabled_surfaces_unreachable() {
+    let cfg = CddConfig { max_retries: 0, ..CddConfig::default() };
+    let (_engine, mut sys) = shape_with(4, 1, 8 << 20, Arch::RaidX, cfg);
+    let bs = sys.block_size() as usize;
+    let lb = (0..64).find(|&lb| sys.layout().locate_data(lb).disk == 3).expect("lb on disk 3");
+    sys.write(0, lb, &vec![9u8; bs]).expect("healthy write");
+    sys.partition_node(3);
+    match sys.read(0, lb, 1) {
+        Err(IoError::Unreachable { node, attempts }) => {
+            assert_eq!(node, 3);
+            assert_eq!(attempts, 1, "no retries configured, one attempt only");
+        }
+        other => panic!("expected Unreachable, got {other:?}"),
+    }
+    match sys.write(0, lb, &vec![8u8; bs]) {
+        Err(IoError::Unreachable { node, .. }) => assert_eq!(node, 3),
+        other => panic!("expected Unreachable, got {other:?}"),
+    }
+    // The partitioned node itself still reaches its local disk.
+    let (got, _) = sys.read(3, lb, 1).expect("local read survives partition");
+    assert_eq!(got, vec![9u8; bs]);
+}
+
+/// Satellite: with retries enabled the client fails over to the
+/// mirror replica, paying exactly one bounded request timeout —
+/// never an unbounded wait.
+#[test]
+fn partition_failover_is_bounded_by_the_request_timeout() {
+    let (mut engine, mut sys) = shape(4, 1, 8 << 20, Arch::RaidX);
+    let bs = sys.block_size() as usize;
+    let lb = (0..64).find(|&lb| sys.layout().locate_data(lb).disk == 3).expect("lb on disk 3");
+    sys.write(0, lb, &vec![5u8; bs]).expect("healthy write");
+    engine.run().expect("drain seed");
+    sys.partition_node(3);
+    let t0 = engine.now();
+    let (got, plan) = sys.read(0, lb, 1).expect("failover read");
+    assert_eq!(got, vec![5u8; bs], "replica must serve the bytes");
+    assert_eq!(sys.timeouts(), 1);
+    assert_eq!(sys.failovers(), 1);
+    engine.spawn_job("failover-read", plan);
+    engine.run().expect("failover read run");
+    let elapsed = engine.now().since(t0);
+    let timeout = CddConfig::default().request_timeout;
+    assert!(elapsed >= timeout, "failover must pay the timed-out attempt");
+    assert!(
+        elapsed < SimDuration(timeout.0 * 2),
+        "failover took {elapsed:?}, expected within 2x the {timeout:?} timeout"
+    );
+}
+
+/// A degraded write under a partition parks the unreachable copy and
+/// still acknowledges; the parked ledger drives the later resync.
+#[test]
+fn degraded_write_parks_unreachable_copies() {
+    let (_engine, mut sys) = shape(4, 1, 8 << 20, Arch::RaidX);
+    let bs = sys.block_size() as usize;
+    sys.partition_node(2);
+    let lb = (0..64)
+        .find(|&lb| {
+            sys.layout().locate_images(lb).iter().any(|a| a.disk == 2)
+                && sys.layout().locate_data(lb).disk != 2
+        })
+        .expect("lb imaged on disk 2");
+    sys.write(0, lb, &vec![0xEE; bs]).expect("degraded write");
+    assert!(sys.parked_blocks(2) > 0, "unreachable image must be parked");
+    let (got, _) = sys.read(0, lb, 1).expect("read around the partition");
+    assert_eq!(got, vec![0xEE; bs]);
+}

@@ -85,6 +85,11 @@ pub struct SweepScenario {
     pub kind: FaultKind,
     /// Script op index the fault fires before.
     pub inject_at: usize,
+    /// Run with the client block cache enabled. Cached cells additionally
+    /// assert that no read served stale bytes at any point: the fault
+    /// classes swept here (disk loss, node crash, reconfiguration) must
+    /// be invisible through the cache's flush/invalidation hooks.
+    pub cached: bool,
 }
 
 /// What one scenario run observed.
@@ -125,8 +130,19 @@ pub fn scenarios(smoke: bool) -> Vec<SweepScenario> {
     for arch in Arch::ALL {
         for &kind in kinds {
             for &inject_at in points {
-                out.push(SweepScenario { arch, kind, inject_at });
+                out.push(SweepScenario { arch, kind, inject_at, cached: false });
             }
+        }
+    }
+    // Cached cells: the fault classes whose flush/invalidation hooks the
+    // cache must ride (media loss → rebuild, node crash → client flush,
+    // membership epoch bump → global flush), at the middle point. Smoke
+    // keeps RAID-x only; the full grid sweeps every architecture.
+    let cache_kinds = [FaultKind::Permanent, FaultKind::Crash, FaultKind::Reconfig];
+    let cache_archs: &[Arch] = if smoke { &[Arch::RaidX] } else { &Arch::ALL };
+    for &arch in cache_archs {
+        for kind in cache_kinds {
+            out.push(SweepScenario { arch, kind, inject_at: 18, cached: true });
         }
     }
     out
@@ -206,7 +222,11 @@ fn post_recovery_problems(sys: &mut IoSystem, kind: FaultKind) -> Vec<String> {
 /// repair (rebuild for the permanent class), then the full recovery
 /// contract check.
 pub fn run_scenario(sc: &SweepScenario) -> SweepOutcome {
-    let (mut engine, mut sys) = cdd::testkit::shape(4, 1, 8 << 20, sc.arch);
+    let cdd_cfg = cdd::CddConfig {
+        cache: sc.cached.then_some(cdd::CacheConfig { capacity_blocks: 32 }),
+        ..cdd::CddConfig::default()
+    };
+    let (mut engine, mut sys) = cdd::testkit::shape_with(4, 1, 8 << 20, sc.arch, cdd_cfg);
     let log = EventLog::new();
     engine.set_tracer(Box::new(log.clone()));
     let ops = gen_script(&mut Gen::new(SCRIPT_SEED), CLIENTS, REGION_BLOCKS, NOPS);
@@ -248,6 +268,19 @@ pub fn run_scenario(sc: &SweepScenario) -> SweepOutcome {
             if out.failed > 0 {
                 problems.push(format!("{} ops failed under a single tolerated fault", out.failed));
             }
+            if sc.cached {
+                // The cached cells' extra contract: no read — before,
+                // during or after the fault — may have served stale
+                // bytes, and the cache must actually have been in play.
+                if out.stale_reads > 0 {
+                    problems.push(format!("{} stale reads through the cache", out.stale_reads));
+                }
+                match sys.cache_stats() {
+                    Some(stats) if stats.hits + stats.misses > 0 => {}
+                    Some(_) => problems.push("cache never consulted".into()),
+                    None => problems.push("cached cell ran without a cache".into()),
+                }
+            }
             problems.extend(post_recovery_problems(&mut sys, sc.kind));
             match check_against_model(&mut sys, DRIVER, &out.model) {
                 Ok(Ok(())) => {}
@@ -273,7 +306,8 @@ pub fn run_pass(smoke: bool) -> PassReport {
     for sc in scenarios(smoke) {
         let a = run_scenario(&sc);
         let b = run_scenario(&sc);
-        let name = format!("{:?} {:?} @op{}", sc.arch, sc.kind, sc.inject_at);
+        let cached = if sc.cached { " cached" } else { "" };
+        let name = format!("{:?} {:?} @op{}{cached}", sc.arch, sc.kind, sc.inject_at);
         let mut problems = a.problems.clone();
         if a.fingerprint != b.fingerprint {
             problems.push(format!(
@@ -312,8 +346,12 @@ mod tests {
 
     #[test]
     fn full_grid_enumerates_all_cells() {
-        assert_eq!(scenarios(false).len(), 4 * 7 * 3);
-        assert_eq!(scenarios(true).len(), 4 * 3);
+        // 4 arch × 7 kinds × 3 points, plus 4 arch × 3 cached cells.
+        assert_eq!(scenarios(false).len(), 4 * 7 * 3 + 4 * 3);
+        // 4 arch × 3 kinds at the middle point, plus 3 cached RAID-x cells.
+        assert_eq!(scenarios(true).len(), 4 * 3 + 3);
+        assert_eq!(scenarios(false).iter().filter(|s| s.cached).count(), 12);
+        assert_eq!(scenarios(true).iter().filter(|s| s.cached).count(), 3);
     }
 
     #[test]
@@ -321,7 +359,7 @@ mod tests {
         // One full-depth scenario per fault kind (the full grid runs in
         // `verify_all`; this keeps the unit suite fast but total).
         for kind in FaultKind::ALL {
-            let sc = SweepScenario { arch: Arch::RaidX, kind, inject_at: 10 };
+            let sc = SweepScenario { arch: Arch::RaidX, kind, inject_at: 10, cached: false };
             let out = run_scenario(&sc);
             assert!(out.problems.is_empty(), "{kind:?}: {:?}", out.problems);
         }

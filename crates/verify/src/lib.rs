@@ -1,7 +1,7 @@
 #![warn(missing_docs)]
 //! # raidx-verify — static analysis and invariant verification
 //!
-//! Twelve offline passes that check the reproduction's correctness
+//! Thirteen offline passes that check the reproduction's correctness
 //! properties *before and between* simulations, independently of the unit
 //! tests:
 //!
@@ -70,13 +70,21 @@
 //!     result-identical to a profiler-off run, and proves the comparator
 //!     live with a planted 3× counter drift. Wall-clock figures in the
 //!     baseline are advisory and never gated.
+//! 13. [`cache_coherence`] — the client block-cache gate: exhaustive
+//!     model checking and linearizability of the `cache-coherence`
+//!     scenario (with a planted skip-invalidation canary the checker
+//!     must catch), cached-vs-uncached transparency of random op
+//!     scripts on every architecture, and the Zipfian payoff gate (≥50%
+//!     hit rate at s = 1.0, a >1× simulated-time speedup, zero stale
+//!     reads). Shares the `zipf_cache` scenario with `bench::perfbench`.
 //!
 //! Every pass is a library API first; `cargo run -p bench --bin
-//! verify_all` drives all twelve (filterable with `--pass <name>`,
+//! verify_all` drives all thirteen (filterable with `--pass <name>`,
 //! listable with `--list-passes`, exportable with `--json <path>`) and
 //! exits non-zero on any finding.
 
 pub mod benchfile;
+pub mod cache_coherence;
 pub mod crash_consistency;
 pub mod determinism;
 pub mod fault_sweep;

@@ -17,7 +17,8 @@
 
 use crate::report::PassReport;
 use cdd::proto::{
-    scenario_epoch, scenario_reader, scenario_three, CddModel, HistOp, OpRecord, Scenario,
+    scenario_cache, scenario_epoch, scenario_reader, scenario_three, CddModel, HistOp, OpRecord,
+    Scenario,
 };
 use cdd::Defect;
 use sim_core::explore::Explorer;
@@ -115,6 +116,7 @@ pub fn run_pass(budget: u64) -> PassReport {
     check_scenario(&mut rep, scenario_reader(Defect::None), budget);
     check_scenario(&mut rep, scenario_three(Defect::None), budget);
     check_scenario(&mut rep, scenario_epoch(Defect::None), budget);
+    check_scenario(&mut rep, scenario_cache(Defect::None), budget);
     // Canary: an unlocked reader must produce a torn (non-linearizable)
     // read on some schedule.
     let sc = scenario_reader(Defect::UnlockedRead);
@@ -143,6 +145,22 @@ pub fn run_pass(budget: u64) -> PassReport {
         match &r.failure {
             Some(f) => format!("caught: {f}"),
             None => "checker missed a planted unsynced migration".to_string(),
+        },
+    );
+    // Canary: a writer that skips the cache-invalidation broadcast must
+    // leave some schedule with a stale cached read after the write's
+    // response — non-linearizable by the real-time rule.
+    let sc = scenario_cache(Defect::SkipInvalidate);
+    let blocks = sc.blocks;
+    let m = CddModel::new(sc);
+    let ex = Explorer { max_schedules: budget.max(1), ..Explorer::default() };
+    let r = ex.explore_with(&m, |s| check_history(blocks, &s.history));
+    rep.push(
+        "canary: planted skipped invalidation is caught",
+        r.failure.is_some(),
+        match &r.failure {
+            Some(f) => format!("caught: {f}"),
+            None => "checker missed a planted skipped invalidation".to_string(),
         },
     );
     rep
@@ -198,7 +216,19 @@ mod tests {
     fn clean_pass_reports_zero_findings() {
         let rep = run_pass(crate::model_check::DEFAULT_BUDGET);
         assert!(rep.all_ok(), "{}", rep.render());
-        assert_eq!(rep.checks.len(), 5);
+        assert_eq!(rep.checks.len(), 7);
+    }
+
+    #[test]
+    fn seeded_skip_invalidate_produces_stale_read() {
+        let mut rep = PassReport::new("linearizability");
+        check_scenario(
+            &mut rep,
+            scenario_cache(Defect::SkipInvalidate),
+            crate::model_check::DEFAULT_BUDGET,
+        );
+        assert_eq!(rep.failures(), 1, "{}", rep.render());
+        assert!(rep.checks[0].detail.contains("no linearization"), "{}", rep.checks[0].detail);
     }
 
     #[test]

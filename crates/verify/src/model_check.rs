@@ -17,7 +17,8 @@
 
 use crate::report::PassReport;
 use cdd::proto::{
-    scenario_contended, scenario_epoch, scenario_reader, scenario_three, CddModel, Scenario,
+    scenario_cache, scenario_contended, scenario_epoch, scenario_reader, scenario_three, CddModel,
+    Scenario,
 };
 use cdd::Defect;
 use sim_core::explore::Explorer;
@@ -60,6 +61,7 @@ pub fn run_pass(budget: u64) -> PassReport {
     check_scenario(&mut rep, scenario_reader(Defect::None), budget);
     check_scenario(&mut rep, scenario_three(Defect::None), budget);
     check_scenario(&mut rep, scenario_epoch(Defect::None), budget);
+    check_scenario(&mut rep, scenario_cache(Defect::None), budget);
     // Canary: the checker must still catch a planted double grant.
     let canary = explorer(budget).explore(&CddModel::new(scenario_contended(Defect::DoubleGrant)));
     rep.push(
@@ -82,7 +84,7 @@ mod tests {
     fn clean_pass_reports_zero_findings() {
         let rep = run_pass(DEFAULT_BUDGET);
         assert!(rep.all_ok(), "{}", rep.render());
-        assert_eq!(rep.checks.len(), 5);
+        assert_eq!(rep.checks.len(), 6);
     }
 
     #[test]

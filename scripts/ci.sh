@@ -32,6 +32,13 @@ echo "==> reconfig (epoch transitions: stale-epoch admission + reads vs model mi
 # combined verify_all stage below.
 cargo test -q -p cdd --test reconfig
 
+echo "==> cache (client block-cache edge cases + coherence gate)"
+# Dedicated stage so a cache-coherence regression (stale read, missed
+# invalidation, broken transparency) names itself in the CI log; the
+# full pass also runs in the combined verify_all stage below.
+cargo test -q -p cdd --test cache
+cargo run --release -p bench --bin verify_all -- --pass cache-coherence --budget 20000
+
 echo "==> perf-smoke (engine work counters vs BENCH_engine.json + profiler transparency)"
 # Gates the deterministic work counters only — wall-clock figures in the
 # baseline are advisory. An intentional engine change regenerates the
@@ -42,7 +49,7 @@ echo "==> perf --smoke (harness self-check, outputs under target/)"
 # --out keeps the quick run away from the committed baseline.
 cargo run --release -p bench --bin perf -- --smoke --out target/perf-smoke
 
-echo "==> verify_all (plan lint, lock order, layout, determinism, model check, linearizability, crash consistency, trace determinism, fault sweep, race detect, static analysis, perf smoke)"
+echo "==> verify_all (plan lint, lock order, layout, determinism, model check, linearizability, crash consistency, trace determinism, fault sweep, race detect, static analysis, perf smoke, cache coherence)"
 # --budget bounds schedules explored per model-checking scenario and
 # --smoke shrinks the fault-injection sweep to its CI subset, so the
 # gate stays fast even as scenarios grow.
